@@ -1,0 +1,58 @@
+// Command paso-bench regenerates every table and figure of the paper's
+// evaluation (Figure 1 and Theorems 2–4 plus the §4.3/§5 studies) and
+// prints them in paper-style rows. See DESIGN.md for the experiment index
+// and EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	paso-bench            # run everything
+//	paso-bench -only E4   # run one experiment
+//	paso-bench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"paso/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paso-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paso-bench", flag.ContinueOnError)
+	only := fs.String("only", "", "run only the experiment with this id (e.g. E4)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	ran := 0
+	for _, e := range all {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		start := time.Now()
+		table := e.Run()
+		fmt.Println(table.Render())
+		fmt.Printf("  (%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q (try -list)", *only)
+	}
+	return nil
+}

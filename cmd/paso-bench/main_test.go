@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	if err := run([]string{"-only", "E4"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Command paso-sim runs a configurable PASO scenario on the simulated LAN
+// and reports per-operation costs, replica movement, and fault-tolerance
+// health. It is the ad-hoc exploration companion to the fixed experiment
+// suite in paso-bench.
+//
+// Example:
+//
+//	paso-sim -n 8 -lambda 2 -policy basic -k 8 -reads 500 -updates 100 \
+//	         -readers 6,7,8 -crash 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"paso"
+	"paso/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paso-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paso-sim", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 6, "machines in the ensemble")
+		lambda  = fs.Int("lambda", 1, "crash tolerance λ")
+		policy  = fs.String("policy", "basic", "replication policy: static|basic|qcost|doubling|full|randomized")
+		k       = fs.Int("k", 8, "counter threshold K")
+		q       = fs.Int("q", 2, "query cost q (qcost policy)")
+		store   = fs.String("store", "hash", "local store: hash|tree|list")
+		reads   = fs.Int("reads", 500, "reads per reader machine")
+		updates = fs.Int("updates", 100, "insert+take pairs from machine 1")
+		readers = fs.String("readers", "", "comma-separated reader machine ids (default: last machine)")
+		crash   = fs.Int("crash", 0, "crash this machine mid-run (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pk paso.PolicyKind
+	switch *policy {
+	case "static":
+		pk = paso.PolicyStatic
+	case "basic":
+		pk = paso.PolicyBasic
+	case "qcost":
+		pk = paso.PolicyQCost
+	case "doubling":
+		pk = paso.PolicyDoubling
+	case "full":
+		pk = paso.PolicyFull
+	case "randomized":
+		pk = paso.PolicyRandomized
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	readerIDs, err := parseIDs(*readers, *n)
+	if err != nil {
+		return err
+	}
+
+	space, err := paso.New(paso.Options{
+		Machines: *n, Lambda: *lambda, Policy: pk, K: *k, Q: *q, Store: *store,
+		TupleNames: []string{"item"},
+	})
+	if err != nil {
+		return err
+	}
+	defer space.Close()
+
+	writer := space.On(1)
+	if _, err := writer.Insert(paso.Str("item"), paso.I(0)); err != nil {
+		return fmt.Errorf("seed insert: %w", err)
+	}
+	tpl := paso.MatchName("item", paso.AnyInt())
+
+	for i := 0; i < *updates; i++ {
+		if _, err := writer.Insert(paso.Str("item"), paso.I(int64(i+1))); err != nil {
+			return fmt.Errorf("insert %d: %w", i, err)
+		}
+	}
+	if *crash > 0 {
+		fmt.Printf("crashing machine %d mid-run\n", *crash)
+		space.Crash(*crash)
+	}
+	for _, r := range readerIDs {
+		h := space.On(r)
+		if h == nil {
+			fmt.Printf("reader %d is down; skipping\n", r)
+			continue
+		}
+		for i := 0; i < *reads; i++ {
+			if _, ok, err := h.Read(tpl); err != nil {
+				return fmt.Errorf("read on %d: %w", r, err)
+			} else if !ok {
+				break
+			}
+		}
+	}
+	for i := 0; i < *updates; i++ {
+		if _, ok, err := writer.Take(tpl); err != nil || !ok {
+			break
+		}
+	}
+	if *crash > 0 {
+		if err := space.Restart(*crash); err != nil {
+			return fmt.Errorf("restart: %w", err)
+		}
+		fmt.Printf("machine %d restarted\n", *crash)
+	}
+	if err := space.CheckFaultTolerance(); err != nil {
+		fmt.Printf("FAULT TOLERANCE VIOLATED: %v\n", err)
+	} else {
+		fmt.Println("fault-tolerance condition holds")
+	}
+
+	fmt.Printf("\n%-8s %-12s %8s %12s %12s %8s\n", "machine", "op", "count", "msg-cost", "work", "fails")
+	for _, m := range space.Cluster().Machines() {
+		for _, kind := range []core.OpKind{
+			core.OpInsert, core.OpReadLocal, core.OpReadRemote, core.OpReadDel, core.OpJoin, core.OpLeave,
+		} {
+			st, ok := m.Stats()[kind]
+			if !ok || st.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-8d %-12s %8d %12.1f %12.1f %8d\n",
+				m.ID(), kind, st.Count, st.MsgCost, st.Work, st.Fails)
+		}
+	}
+	bus := space.Cluster().BusTotals()
+	fmt.Printf("\nbus totals: %s\n", bus)
+	return nil
+}
+
+func parseIDs(csv string, n int) ([]int, error) {
+	if csv == "" {
+		return []int{n}, nil
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || id < 1 || id > n {
+			return nil, fmt.Errorf("bad reader id %q", p)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseIDs(t *testing.T) {
+	got, err := parseIDs("1, 3,5", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("got %v", got)
+	}
+	if def, err := parseIDs("", 6); err != nil || len(def) != 1 || def[0] != 6 {
+		t.Errorf("default = %v, %v", def, err)
+	}
+	if _, err := parseIDs("0", 6); err == nil {
+		t.Error("id 0 accepted")
+	}
+	if _, err := parseIDs("7", 6); err == nil {
+		t.Error("id > n accepted")
+	}
+	if _, err := parseIDs("x", 6); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "nope"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunSmallScenario(t *testing.T) {
+	err := run([]string{"-n", "3", "-reads", "5", "-updates", "2", "-policy", "static"})
+	if err != nil {
+		t.Fatalf("scenario failed: %v", err)
+	}
+}

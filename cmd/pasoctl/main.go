@@ -1,0 +1,62 @@
+// Command pasoctl is the client for pasod's line protocol: it sends one
+// command to a daemon's client port and prints the response.
+//
+//	pasoctl -addr 127.0.0.1:7201 insert point s:origin i:3 i:4
+//	pasoctl -addr 127.0.0.1:7201 read point ?s ?i ?i
+//	pasoctl -addr 127.0.0.1:7201 take point ?s i:0..10 ?i
+//	pasoctl -addr 127.0.0.1:7201 takewait 5s point ?s ?i ?i
+//	pasoctl -addr 127.0.0.1:7201 stat
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pasoctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pasoctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7201", "pasod client address")
+	timeout := fs.Duration("timeout", 30*time.Second, "connection/response timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmd := strings.Join(fs.Args(), " ")
+	if cmd == "" {
+		return fmt.Errorf("usage: pasoctl [-addr host:port] <command...>")
+	}
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(*timeout))
+	if _, err := fmt.Fprintln(conn, cmd); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("connection closed without response")
+	}
+	resp := sc.Text()
+	fmt.Println(resp)
+	if strings.HasPrefix(resp, "ERR") {
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Command pasod hosts one PASO machine as a standalone process over the
+// TCP transport: a memory server plus a line-oriented client port that
+// local compute processes (or pasoctl) drive PASO operations through.
+//
+// A three-machine ensemble on one host:
+//
+//	pasod -id 1 -listen 127.0.0.1:7101 -client 127.0.0.1:7201 \
+//	      -peers 2=127.0.0.1:7102,3=127.0.0.1:7103 -support
+//	pasod -id 2 -listen 127.0.0.1:7102 -client 127.0.0.1:7202 \
+//	      -peers 1=127.0.0.1:7101,3=127.0.0.1:7103 -support
+//	pasod -id 3 -listen 127.0.0.1:7103 -client 127.0.0.1:7203 \
+//	      -peers 1=127.0.0.1:7101,2=127.0.0.1:7102
+//
+// Then:
+//
+//	pasoctl -addr 127.0.0.1:7203 insert point s:origin i:3 i:4
+//	pasoctl -addr 127.0.0.1:7201 read point ?s ?i ?i
+//	pasoctl -addr 127.0.0.1:7202 take point ?s ?i ?i
+//
+// The client protocol is one command per line; see internal/core/protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"paso/internal/class"
+	"paso/internal/core"
+	"paso/internal/storage"
+	"paso/internal/transport"
+	"paso/internal/transport/tcp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pasod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pasod", flag.ContinueOnError)
+	var (
+		id      = fs.Uint64("id", 0, "machine id (required, ≥ 1)")
+		listen  = fs.String("listen", "127.0.0.1:7101", "transport listen address")
+		client  = fs.String("client", "127.0.0.1:7201", "client protocol listen address")
+		peers   = fs.String("peers", "", "comma-separated id=host:port transport peers")
+		names   = fs.String("names", "point,task,result", "tuple names with dedicated classes")
+		arity   = fs.Int("arity", 6, "maximum tuple arity")
+		lambda  = fs.Int("lambda", 1, "crash tolerance λ")
+		support = fs.Bool("support", false, "act as basic support for every class")
+		k       = fs.Int("k", 8, "adaptive counter threshold K")
+		hb      = fs.Duration("heartbeat", 50*time.Millisecond, "failure detector heartbeat")
+		timeout = fs.Duration("fail-timeout", 500*time.Millisecond, "failure detector timeout")
+		inc     = fs.Uint64("incarnation", 0, "restart incarnation (bump after each crash)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id < 1 {
+		return fmt.Errorf("-id is required")
+	}
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+
+	ep, err := tcp.Listen(transport.NodeID(*id), *listen, tcp.Options{
+		HeartbeatInterval: *hb,
+		FailTimeout:       *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	for pid, addr := range peerMap {
+		ep.AddPeer(pid, addr)
+	}
+
+	cfg := core.Config{
+		Classifier: class.NewNameArity(splitNames(*names), *arity),
+		Lambda:     *lambda,
+		StoreKind:  storage.KindHash,
+		NewPolicy:  core.BasicPolicyFactory(*k),
+	}
+	var basics []class.ID
+	if *support {
+		basics = cfg.Classifier.Classes()
+	}
+	fmt.Printf("pasod %d: transport %s, client %s, %d peers, support=%v\n",
+		*id, ep.Addr(), *client, len(peerMap), *support)
+	m, err := core.StartMachine(ep, cfg, basics, *inc+1)
+	if err != nil {
+		return fmt.Errorf("start machine: %w", err)
+	}
+	defer m.Stop()
+	fmt.Printf("pasod %d: init phase done in %s\n", *id, m.InitTime().Round(time.Millisecond))
+
+	srv, err := core.ServeProtocol(*client, m)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("pasod %d: serving clients on %s\n", *id, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("pasod %d: shutting down\n", *id)
+	return nil
+}
+
+func parsePeers(csv string) (map[transport.NodeID]string, error) {
+	out := make(map[transport.NodeID]string)
+	if csv == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(csv, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 64)
+		if err != nil || id < 1 {
+			return nil, fmt.Errorf("bad peer id %q", kv[0])
+		}
+		out[transport.NodeID(id)] = kv[1]
+	}
+	return out, nil
+}
+
+func splitNames(csv string) []string {
+	var out []string
+	for _, n := range strings.Split(csv, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

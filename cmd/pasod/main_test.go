@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"paso/internal/transport"
+)
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("2=127.0.0.1:7102, 3=host:7103")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[2] != "127.0.0.1:7102" || got[3] != "host:7103" {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parsePeers("nope"); err == nil {
+		t.Error("missing = accepted")
+	}
+	if _, err := parsePeers("x=addr"); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+	if _, err := parsePeers("0=addr"); err == nil {
+		t.Error("zero id accepted")
+	}
+	empty, err := parsePeers("")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty peers: %v %v", empty, err)
+	}
+	_ = transport.NodeID(0)
+}
+
+func TestSplitNames(t *testing.T) {
+	got := splitNames(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if got := splitNames(""); got != nil {
+		t.Errorf("empty names = %v", got)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -id accepted")
+	}
+	if err := run([]string{"-id", "1", "-peers", "bogus"}); err == nil {
+		t.Error("bad peers accepted")
+	}
+}

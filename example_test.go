@@ -1,0 +1,116 @@
+package paso_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"paso"
+)
+
+// The basic lifecycle: insert, associative read, take.
+func Example() {
+	space, err := paso.New(paso.Options{Machines: 4, Lambda: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer space.Close()
+
+	if _, err := space.On(1).Insert(paso.Str("point"), paso.I(3), paso.I(4)); err != nil {
+		log.Fatal(err)
+	}
+	tpl := paso.Match(paso.Eq(paso.Str("point")), paso.AnyInt(), paso.AnyInt())
+	got, ok, err := space.On(2).Read(tpl)
+	if err != nil || !ok {
+		log.Fatal(err, ok)
+	}
+	fmt.Println("x =", got.Field(1).MustInt(), "y =", got.Field(2).MustInt())
+
+	if _, ok, _ := space.On(3).Take(tpl); ok {
+		fmt.Println("taken")
+	}
+	_, ok, _ = space.On(4).Read(tpl)
+	fmt.Println("still present:", ok)
+	// Output:
+	// x = 3 y = 4
+	// taken
+	// still present: false
+}
+
+// Objects survive the crash of their creating machine (persistence).
+func ExampleSpace_Crash() {
+	space, err := paso.New(paso.Options{Machines: 4, Lambda: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer space.Close()
+
+	if _, err := space.On(3).Insert(paso.Str("durable"), paso.I(1)); err != nil {
+		log.Fatal(err)
+	}
+	space.Crash(3)
+	_, ok, err := space.On(1).Read(paso.Match(paso.Eq(paso.Str("durable")), paso.AnyInt()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("survived creator crash:", ok)
+	// Output:
+	// survived creator crash: true
+}
+
+// TakeWait blocks until a matching object is inserted — the rendezvous
+// primitive of task-queue patterns.
+func ExampleHandle_TakeWait() {
+	space, err := paso.New(paso.Options{Machines: 3, TupleNames: []string{"job"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer space.Close()
+
+	done := make(chan paso.Tuple, 1)
+	go func() {
+		t, err := space.On(2).TakeWait(paso.MatchName("job", paso.AnyInt()), 10*time.Second)
+		if err != nil {
+			log.Println(err)
+			return
+		}
+		done <- t
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := space.On(1).Insert(paso.Str("job"), paso.I(7)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("job:", (<-done).Field(1).MustInt())
+	// Output:
+	// job: 7
+}
+
+// Swap claims a task atomically: exactly one worker can transition it.
+func ExampleHandle_Swap() {
+	space, err := paso.New(paso.Options{Machines: 3, TupleNames: []string{"task"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer space.Close()
+
+	if _, err := space.On(1).Insert(paso.Str("task"), paso.Str("pending")); err != nil {
+		log.Fatal(err)
+	}
+	old, ok, err := space.On(2).Swap(
+		paso.MatchName("task", paso.Eq(paso.Str("pending"))),
+		paso.Str("task"), paso.Str("claimed"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("claimed:", ok, "was:", old.Field(1).MustString())
+	// A second claim attempt finds nothing pending.
+	_, ok, _ = space.On(3).Swap(
+		paso.MatchName("task", paso.Eq(paso.Str("pending"))),
+		paso.Str("task"), paso.Str("claimed"),
+	)
+	fmt.Println("second claim:", ok)
+	// Output:
+	// claimed: true was: pending
+	// second claim: false
+}

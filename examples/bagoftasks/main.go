@@ -1,0 +1,163 @@
+// Bag-of-tasks: the adaptive-parallel workload the paper's introduction
+// motivates. A master drops work tuples into the space; workers on other
+// machines repeatedly Take a task, compute, and Insert a result. Workers
+// are mutually anonymous — when one crashes mid-computation its unfinished
+// task is re-issued by the master, and the replacement worker picks it up
+// with no coordination (Kambhatla & Walpole's argument for tuple spaces as
+// a fault-tolerant substrate, paper §1).
+//
+// The bag computes a trivially verifiable job: summing the squares of
+// 1..N, sharded into tasks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"paso"
+)
+
+const (
+	machines = 6
+	workers  = 4 // machines 3..6 run workers
+	nTasks   = 40
+	shard    = 25 // numbers per task
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	space, err := paso.New(paso.Options{
+		Machines:   machines,
+		Lambda:     2,
+		TupleNames: []string{"task", "result"},
+		Policy:     paso.PolicyBasic,
+		K:          8,
+	})
+	if err != nil {
+		return err
+	}
+	defer space.Close()
+
+	// Master (machine 1) drops the bag of tasks.
+	master := space.On(1)
+	for i := 0; i < nTasks; i++ {
+		lo := int64(i*shard + 1)
+		hi := int64((i + 1) * shard)
+		if _, err := master.Insert(paso.Str("task"), paso.I(int64(i)), paso.I(lo), paso.I(hi)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("master: %d tasks in the bag\n", nTasks)
+
+	// Workers: take any task, sum squares of the range, insert the result.
+	taskTpl := paso.MatchName("task", paso.AnyInt(), paso.AnyInt(), paso.AnyInt())
+	var wg sync.WaitGroup
+	var processed [workers]int
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			machine := w + 3
+			for {
+				h := space.On(machine)
+				if h == nil {
+					return // this worker's machine crashed
+				}
+				task, err := h.TakeWait(taskTpl, 300*time.Millisecond)
+				if err != nil {
+					return // bag drained
+				}
+				id := task.Field(1).MustInt()
+				lo, hi := task.Field(2).MustInt(), task.Field(3).MustInt()
+				var sum int64
+				for n := lo; n <= hi; n++ {
+					sum += n * n
+				}
+				if _, err := h.Insert(paso.Str("result"), paso.I(id), paso.I(sum)); err != nil {
+					// The insert may have been lost with the machine;
+					// the master's re-issue pass will cover it.
+					return
+				}
+				processed[w]++
+			}
+		}(w)
+	}
+
+	// Chaos: crash one worker machine mid-run and bring it back.
+	time.Sleep(5 * time.Millisecond)
+	fmt.Println("chaos: crashing machine 4 mid-computation")
+	space.Crash(4)
+	time.Sleep(20 * time.Millisecond)
+	if err := space.Restart(4); err != nil {
+		return err
+	}
+	fmt.Println("chaos: machine 4 restarted (its memory was wiped and re-transferred)")
+	wg.Wait()
+
+	// Master gathers results, re-issuing any tasks lost in the crash
+	// window (a worker may have taken a task and died before answering).
+	resTpl := paso.MatchName("result", paso.AnyInt(), paso.AnyInt())
+	results := make(map[int64]int64, nTasks)
+	for len(results) < nTasks {
+		r, err := master.TakeWait(resTpl, 200*time.Millisecond)
+		if err != nil {
+			// Drained without completing: re-issue missing tasks.
+			reissued := 0
+			for i := 0; i < nTasks; i++ {
+				if _, done := results[int64(i)]; done {
+					continue
+				}
+				lo := int64(i*shard + 1)
+				hi := int64((i + 1) * shard)
+				if _, err := master.Insert(paso.Str("task"), paso.I(int64(i)), paso.I(lo), paso.I(hi)); err != nil {
+					return err
+				}
+				reissued++
+			}
+			fmt.Printf("master: re-issued %d lost tasks\n", reissued)
+			// One surviving worker finishes the stragglers.
+			h := space.On(3)
+			for {
+				task, err := h.TakeWait(taskTpl, 100*time.Millisecond)
+				if err != nil {
+					break
+				}
+				id := task.Field(1).MustInt()
+				lo, hi := task.Field(2).MustInt(), task.Field(3).MustInt()
+				var sum int64
+				for n := lo; n <= hi; n++ {
+					sum += n * n
+				}
+				if _, err := h.Insert(paso.Str("result"), paso.I(id), paso.I(sum)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Duplicate results are possible after re-issue; last write wins
+		// (they are equal anyway).
+		results[r.Field(1).MustInt()] = r.Field(2).MustInt()
+	}
+
+	var total int64
+	for _, s := range results {
+		total += s
+	}
+	n := int64(nTasks * shard)
+	want := n * (n + 1) * (2*n + 1) / 6
+	fmt.Printf("sum of squares 1..%d = %d (want %d, match=%v)\n", n, total, want, total == want)
+	for w := 0; w < workers; w++ {
+		fmt.Printf("worker on machine %d processed %d tasks\n", w+3, processed[w])
+	}
+	if total != want {
+		return fmt.Errorf("wrong total")
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Quickstart: a four-machine PASO memory, the three primitives, and
+// blocking retrieval — the smallest end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"paso"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Four machines, tolerating one crash (λ=1). Tuples named "greeting"
+	// and "counter" get dedicated object classes.
+	space, err := paso.New(paso.Options{
+		Machines:   4,
+		Lambda:     1,
+		TupleNames: []string{"greeting", "counter"},
+	})
+	if err != nil {
+		return err
+	}
+	defer space.Close()
+
+	// insert: machine 1 publishes an object. Objects are immutable tuples;
+	// the memory assigns a unique identity.
+	stored, err := space.On(1).Insert(paso.Str("greeting"), paso.Str("hello"), paso.I(42))
+	if err != nil {
+		return err
+	}
+	fmt.Println("machine 1 inserted:", stored)
+
+	// read: any machine retrieves by associative match — here "a greeting
+	// whose payload is any string, with a number between 0 and 100".
+	tpl := paso.MatchName("greeting", paso.AnyStr(), paso.Rng(paso.I(0), paso.I(100)))
+	got, ok, err := space.On(3).Read(tpl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine 3 read:    %v (found=%v)\n", got, ok)
+
+	// read&del (Take): removes the object atomically — exactly one taker
+	// can win it, which is what makes tuple spaces good task queues.
+	taken, ok, err := space.On(2).Take(tpl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine 2 took:    %v (found=%v)\n", taken, ok)
+	if _, ok, _ := space.On(4).Read(tpl); !ok {
+		fmt.Println("machine 4 read:    gone (as expected after take)")
+	}
+
+	// Blocking retrieval: TakeWait parks until a matching insert arrives
+	// (markers with a poll fallback, paper §4.3).
+	done := make(chan paso.Tuple, 1)
+	go func() {
+		t, err := space.On(4).TakeWait(paso.MatchName("counter", paso.AnyInt()), 5*time.Second)
+		if err != nil {
+			log.Println("takewait:", err)
+			return
+		}
+		done <- t
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := space.On(1).Insert(paso.Str("counter"), paso.I(7)); err != nil {
+		return err
+	}
+	fmt.Println("machine 4 waited for and took:", <-done)
+
+	// A mutable counter from immutable objects: take the old value, insert
+	// the new one (the paper: "modifying a field is logically equivalent to
+	// destroying the old object and creating a new one").
+	ctr := paso.MatchName("counter", paso.AnyInt())
+	for i := 0; i < 3; i++ {
+		if _, err := space.On(2).Insert(paso.Str("counter"), paso.I(int64(i))); err != nil {
+			return err
+		}
+		old, err := space.On(3).TakeWait(ctr, time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("counter bumped: %d → %d\n", old.Field(1).MustInt(), old.Field(1).MustInt()+1)
+	}
+	return nil
+}

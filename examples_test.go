@@ -1,0 +1,50 @@
+package paso
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example binary end to end — the examples
+// self-check their invariants and exit non-zero on failure, so this keeps
+// them from rotting as the library evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 6 {
+		t.Fatalf("expected ≥ 6 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", e.Name()))
+			cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			done := make(chan error, 1)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example %s failed: %v", e.Name(), err)
+				}
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s hung", e.Name())
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module paso
+
+go 1.22

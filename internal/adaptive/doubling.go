@@ -1,0 +1,97 @@
+package adaptive
+
+import "fmt"
+
+// CostAware is implemented by policies that track a time-varying join cost
+// (the class size ℓ drifts, so K = join cost drifts with it — §5.1's
+// general situation). Callers report the currently observed join cost
+// before delivering events; in the runtime the value piggybacks on read
+// replies just like |F|.
+type CostAware interface {
+	ObserveJoinCost(k int)
+}
+
+// DoublingHalving is the §5.1 algorithm for classes whose size ℓ (and
+// therefore join cost K) changes over time: the policy "resets itself every
+// time the ratio between join cost and update cost changes by a factor of
+// 2", doubling or halving its working K. Theorem 3 shows it is
+// (6 + 2λ/K)-competitive.
+type DoublingHalving struct {
+	k      int // working K: k0 scaled by powers of two
+	c      int
+	resets int
+}
+
+var (
+	_ Policy    = (*DoublingHalving)(nil)
+	_ CostAware = (*DoublingHalving)(nil)
+)
+
+// NewDoublingHalving builds the policy with initial join cost k0 ≥ 1.
+func NewDoublingHalving(k0 int) (*DoublingHalving, error) {
+	if k0 < 1 {
+		return nil, fmt.Errorf("adaptive: K0 = %d < 1", k0)
+	}
+	return &DoublingHalving{k: k0}, nil
+}
+
+// ObserveJoinCost implements CostAware: while the true join cost is at
+// least double (or at most half) the working K, the working K doubles
+// (halves) and the counter re-clamps. Each adjustment is one "reset".
+func (p *DoublingHalving) ObserveJoinCost(trueK int) {
+	if trueK < 1 {
+		trueK = 1
+	}
+	for trueK >= 2*p.k {
+		p.k *= 2
+		p.resets++
+	}
+	for p.k >= 2 && trueK <= p.k/2 {
+		p.k /= 2
+		p.resets++
+	}
+	if p.c > p.k {
+		p.c = p.k
+	}
+}
+
+// Resets returns how many doubling/halving adjustments have occurred.
+func (p *DoublingHalving) Resets() int { return p.resets }
+
+// LocalRead implements Policy (same shape as Basic under the working K).
+func (p *DoublingHalving) LocalRead(member bool, rgSize int) Decision {
+	if member {
+		p.c = minInt(p.c+1, p.k)
+		return Stay
+	}
+	if rgSize < 1 {
+		rgSize = 1
+	}
+	p.c += rgSize
+	if p.c >= p.k {
+		p.c = p.k
+		return Join
+	}
+	return Stay
+}
+
+// Update implements Policy.
+func (p *DoublingHalving) Update(member bool) Decision {
+	if !member {
+		return Stay
+	}
+	p.c = maxInt(p.c-1, 0)
+	if p.c == 0 {
+		return Leave
+	}
+	return Stay
+}
+
+// Counter implements Policy.
+func (p *DoublingHalving) Counter() int { return p.c }
+
+// CurrentK exposes the working K for tests.
+func (p *DoublingHalving) CurrentK() int { return p.k }
+
+// Name implements Policy.
+func (p *DoublingHalving) Name() string { return fmt.Sprintf("doubling(K=%d)", p.k) }

@@ -1,0 +1,248 @@
+// Package adaptive implements the paper's §5 replication policies: the
+// Basic counter algorithm (Theorem 2: (3+λ/K)-competitive), its q-cost
+// extension for data structures with expensive queries, the
+// doubling/halving algorithm for drifting class sizes (Theorem 3:
+// (6+2λ/K)-competitive), and baselines (Static, FullReplication).
+//
+// A Policy instance tracks ONE (machine, object class) pair: the paper's
+// cost counter c(C) kept by server m ∈ M. The same state machines drive
+// both the live runtime (machines join/leave write groups) and the offline
+// competitive analysis in package opt.
+//
+// Note on the paper's counter rules: the TR text reads "sets c to
+// max{c+1, K}" on member reads and "min{c-1, 0}" on updates; taken
+// literally those jump the counter to its bound immediately, which
+// contradicts the potential-function proof (which needs 0 ≤ c ≤ K moving by
+// ±1 and by λ+1−|F| steps). We implement the evident intent — min{c+1, K}
+// and max{c−1, 0} — the standard ski-rental counter used by the snoopy
+// caching algorithms [21] the paper builds on.
+package adaptive
+
+import "fmt"
+
+// Decision is a policy's verdict after observing one event.
+type Decision int
+
+// Decisions.
+const (
+	// Stay means no membership change.
+	Stay Decision = iota + 1
+	// Join means the machine should join the class's write group.
+	Join
+	// Leave means the machine should leave the class's write group.
+	Leave
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Stay:
+		return "stay"
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// Policy is the per-(machine, class) replication decision procedure.
+//
+// The runtime calls exactly one method per observed event:
+//
+//   - LocalRead(member, rgSize): a compute process on this machine read the
+//     class. member says whether the machine is currently in wg(C); rgSize
+//     is |rg(C)| = λ+1−|F| learned from the gcast reply piggyback (§5.1)
+//     and is meaningful only when member is false.
+//   - Update(member): this machine's server applied an insert or read&del
+//     for the class (only write-group members see updates).
+//
+// Implementations are NOT safe for concurrent use; callers serialize.
+type Policy interface {
+	LocalRead(member bool, rgSize int) Decision
+	Update(member bool) Decision
+	// Counter exposes the current counter value for tests and ablations.
+	Counter() int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Static never joins or leaves: the write group stays at the basic support
+// B(C). It is the fault-tolerance-only baseline adaptive policies are
+// measured against.
+type Static struct{}
+
+var _ Policy = Static{}
+
+// LocalRead implements Policy.
+func (Static) LocalRead(bool, int) Decision { return Stay }
+
+// Update implements Policy.
+func (Static) Update(bool) Decision { return Stay }
+
+// Counter implements Policy.
+func (Static) Counter() int { return 0 }
+
+// Name implements Policy.
+func (Static) Name() string { return "static" }
+
+// FullReplication joins on first contact and never leaves: every machine
+// that ever reads the class replicates it. It minimizes read cost and
+// maximizes update cost — the opposite extreme from Static.
+type FullReplication struct {
+	joined bool
+}
+
+var _ Policy = (*FullReplication)(nil)
+
+// LocalRead implements Policy.
+func (p *FullReplication) LocalRead(member bool, _ int) Decision {
+	if member {
+		p.joined = true
+		return Stay
+	}
+	p.joined = true
+	return Join
+}
+
+// Update implements Policy.
+func (p *FullReplication) Update(bool) Decision { return Stay }
+
+// Counter implements Policy.
+func (p *FullReplication) Counter() int { return 0 }
+
+// Name implements Policy.
+func (p *FullReplication) Name() string { return "full" }
+
+// Basic is the §5.1 counter algorithm. K is the normalized cost of joining
+// the write group (copying the class state), with reads and updates costing
+// one unit.
+type Basic struct {
+	k int
+	c int
+}
+
+var _ Policy = (*Basic)(nil)
+
+// NewBasic builds a Basic policy with join cost K (must be ≥ 1).
+func NewBasic(k int) (*Basic, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("adaptive: K = %d < 1", k)
+	}
+	return &Basic{k: k}, nil
+}
+
+// LocalRead implements Policy.
+//
+// Member: lookup is local; c rises by one, capped at K.
+// Non-member: the read is broadcast to rg(C); c rises by |rg(C)| = λ+1−|F|
+// (the work the read imposed on the system); reaching K triggers a join.
+func (p *Basic) LocalRead(member bool, rgSize int) Decision {
+	if member {
+		p.c = minInt(p.c+1, p.k)
+		return Stay
+	}
+	if rgSize < 1 {
+		rgSize = 1
+	}
+	p.c += rgSize
+	if p.c >= p.k {
+		p.c = p.k
+		return Join
+	}
+	return Stay
+}
+
+// Update implements Policy. Serving an insert or read&del decays the
+// counter; at zero the machine's local interest no longer pays for the
+// update traffic and it leaves (unless it is basic support, which the
+// caller enforces).
+func (p *Basic) Update(member bool) Decision {
+	if !member {
+		return Stay
+	}
+	p.c = maxInt(p.c-1, 0)
+	if p.c == 0 {
+		return Leave
+	}
+	return Stay
+}
+
+// Counter implements Policy.
+func (p *Basic) Counter() int { return p.c }
+
+// Name implements Policy.
+func (p *Basic) Name() string { return fmt.Sprintf("basic(K=%d)", p.k) }
+
+// QCost extends Basic to data structures where a query costs q ≥ 1 units
+// while inserts and deletes cost one (trees, lists — §5.1). After a
+// non-member read the counter rises by q·(λ+1−|F|); after a member read by
+// q (capped); updates decay by one.
+type QCost struct {
+	k int
+	q int
+	c int
+}
+
+var _ Policy = (*QCost)(nil)
+
+// NewQCost builds a QCost policy with join cost K and query cost q.
+func NewQCost(k, q int) (*QCost, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("adaptive: K = %d < 1", k)
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("adaptive: q = %d < 1", q)
+	}
+	return &QCost{k: k, q: q}, nil
+}
+
+// LocalRead implements Policy.
+func (p *QCost) LocalRead(member bool, rgSize int) Decision {
+	if member {
+		p.c = minInt(p.c+p.q, p.k)
+		return Stay
+	}
+	if rgSize < 1 {
+		rgSize = 1
+	}
+	p.c += p.q * rgSize
+	if p.c >= p.k {
+		p.c = p.k
+		return Join
+	}
+	return Stay
+}
+
+// Update implements Policy.
+func (p *QCost) Update(member bool) Decision {
+	if !member {
+		return Stay
+	}
+	p.c = maxInt(p.c-1, 0)
+	if p.c == 0 {
+		return Leave
+	}
+	return Stay
+}
+
+// Counter implements Policy.
+func (p *QCost) Counter() int { return p.c }
+
+// Name implements Policy.
+func (p *QCost) Name() string { return fmt.Sprintf("qcost(K=%d,q=%d)", p.k, p.q) }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

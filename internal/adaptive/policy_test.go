@@ -1,0 +1,264 @@
+package adaptive
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecisionString(t *testing.T) {
+	if Stay.String() != "stay" || Join.String() != "join" || Leave.String() != "leave" {
+		t.Error("decision names wrong")
+	}
+	if Decision(0).String() != "decision(0)" {
+		t.Error("zero decision name wrong")
+	}
+}
+
+func TestBasicValidation(t *testing.T) {
+	if _, err := NewBasic(0); err == nil {
+		t.Error("NewBasic(0) should fail")
+	}
+	if _, err := NewBasic(-5); err == nil {
+		t.Error("NewBasic(-5) should fail")
+	}
+	p, err := NewBasic(4)
+	if err != nil || p.Name() != "basic(K=4)" {
+		t.Errorf("NewBasic(4) = %v, %v", p, err)
+	}
+}
+
+func TestBasicJoinsAfterKRemoteReadCost(t *testing.T) {
+	p, _ := NewBasic(6)
+	// Non-member reads with rg size 2: counter climbs 2 per read.
+	if d := p.LocalRead(false, 2); d != Stay {
+		t.Fatalf("read 1: %v", d)
+	}
+	if d := p.LocalRead(false, 2); d != Stay {
+		t.Fatalf("read 2: %v", d)
+	}
+	if d := p.LocalRead(false, 2); d != Join {
+		t.Fatalf("read 3: %v, want Join (c=%d)", d, p.Counter())
+	}
+	if p.Counter() != 6 {
+		t.Fatalf("counter after join = %d, want K", p.Counter())
+	}
+}
+
+func TestBasicLeavesAfterKUpdates(t *testing.T) {
+	p, _ := NewBasic(3)
+	for i := 0; i < 2; i++ {
+		p.LocalRead(false, 2)
+	}
+	// Now a member with c=K. K updates in a row must trigger Leave.
+	var last Decision
+	steps := 0
+	for last != Leave && steps < 10 {
+		last = p.Update(true)
+		steps++
+	}
+	if last != Leave {
+		t.Fatalf("never left after %d updates", steps)
+	}
+	if steps != 3 {
+		t.Fatalf("left after %d updates, want K=3", steps)
+	}
+}
+
+func TestBasicMemberReadCapsAtK(t *testing.T) {
+	p, _ := NewBasic(4)
+	for i := 0; i < 10; i++ {
+		if d := p.LocalRead(true, 0); d != Stay {
+			t.Fatalf("member read decided %v", d)
+		}
+	}
+	if p.Counter() != 4 {
+		t.Fatalf("counter = %d, want capped at K=4", p.Counter())
+	}
+}
+
+func TestBasicUpdateNonMemberNoop(t *testing.T) {
+	p, _ := NewBasic(4)
+	if d := p.Update(false); d != Stay {
+		t.Fatalf("non-member update decided %v", d)
+	}
+	if p.Counter() != 0 {
+		t.Fatalf("counter moved on non-member update")
+	}
+}
+
+func TestBasicCounterInvariant(t *testing.T) {
+	// Property: 0 ≤ c ≤ K always, and decisions are consistent with the
+	// counter (Join ⇔ c hits K from below; Leave ⇔ c hits 0).
+	f := func(ops []byte) bool {
+		p, _ := NewBasic(5)
+		member := false
+		for _, op := range ops {
+			var d Decision
+			switch op % 3 {
+			case 0:
+				d = p.LocalRead(member, int(op%4))
+			case 1:
+				d = p.Update(member)
+			default:
+				d = p.LocalRead(!member, 2)
+				if d == Join {
+					member = true
+				}
+			}
+			if d == Join {
+				member = true
+			}
+			if d == Leave {
+				member = false
+			}
+			if p.Counter() < 0 || p.Counter() > 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBasicRgSizeFloor(t *testing.T) {
+	p, _ := NewBasic(3)
+	// A zero/negative rg size (shouldn't happen, but defensively) still
+	// makes progress.
+	p.LocalRead(false, 0)
+	if p.Counter() != 1 {
+		t.Fatalf("counter = %d, want 1", p.Counter())
+	}
+}
+
+func TestQCostValidationAndClimb(t *testing.T) {
+	if _, err := NewQCost(0, 1); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := NewQCost(1, 0); err == nil {
+		t.Error("q=0 should fail")
+	}
+	p, _ := NewQCost(12, 3)
+	// Non-member read with rg=2: climbs q*2 = 6.
+	if d := p.LocalRead(false, 2); d != Stay || p.Counter() != 6 {
+		t.Fatalf("after read: %v c=%d", d, p.Counter())
+	}
+	if d := p.LocalRead(false, 2); d != Join {
+		t.Fatalf("second read: %v", d)
+	}
+	// Member reads climb by q, capped.
+	p2, _ := NewQCost(5, 3)
+	p2.LocalRead(true, 0)
+	p2.LocalRead(true, 0)
+	if p2.Counter() != 5 {
+		t.Fatalf("member q-read counter = %d, want capped 5", p2.Counter())
+	}
+	if p2.Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+func TestStaticNeverMoves(t *testing.T) {
+	p := Static{}
+	for i := 0; i < 10; i++ {
+		if p.LocalRead(false, 3) != Stay || p.Update(true) != Stay {
+			t.Fatal("static policy moved")
+		}
+	}
+	if p.Counter() != 0 || p.Name() != "static" {
+		t.Error("static accessors wrong")
+	}
+}
+
+func TestFullReplicationJoinsOnceNeverLeaves(t *testing.T) {
+	p := &FullReplication{}
+	if d := p.LocalRead(false, 2); d != Join {
+		t.Fatalf("first read: %v, want Join", d)
+	}
+	if d := p.LocalRead(true, 0); d != Stay {
+		t.Fatalf("member read: %v", d)
+	}
+	for i := 0; i < 100; i++ {
+		if p.Update(true) != Stay {
+			t.Fatal("full replication left")
+		}
+	}
+	if p.Name() != "full" || p.Counter() != 0 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestDoublingHalvingValidation(t *testing.T) {
+	if _, err := NewDoublingHalving(0); err == nil {
+		t.Error("K0=0 should fail")
+	}
+}
+
+func TestDoublingHalvingTracksJoinCost(t *testing.T) {
+	p, _ := NewDoublingHalving(4)
+	p.ObserveJoinCost(4)
+	if p.CurrentK() != 4 || p.Resets() != 0 {
+		t.Fatalf("K=%d resets=%d", p.CurrentK(), p.Resets())
+	}
+	p.ObserveJoinCost(9) // ≥ 2*4 → double (8); 9 < 16 → stop
+	if p.CurrentK() != 8 || p.Resets() != 1 {
+		t.Fatalf("after growth: K=%d resets=%d", p.CurrentK(), p.Resets())
+	}
+	p.ObserveJoinCost(33) // 8→16→32
+	if p.CurrentK() != 32 || p.Resets() != 3 {
+		t.Fatalf("after jump: K=%d resets=%d", p.CurrentK(), p.Resets())
+	}
+	p.ObserveJoinCost(3) // 32→16→8→4 (3 ≤ 4/2 is false, stop at 4)
+	if p.CurrentK() != 4 {
+		t.Fatalf("after shrink: K=%d", p.CurrentK())
+	}
+	p.ObserveJoinCost(0) // clamps to 1; 4 halves to... 1≤2 → 2, 1≤1 → 1
+	if p.CurrentK() != 1 {
+		t.Fatalf("after floor: K=%d", p.CurrentK())
+	}
+}
+
+func TestDoublingHalvingClampsCounterOnHalve(t *testing.T) {
+	p, _ := NewDoublingHalving(8)
+	for i := 0; i < 3; i++ {
+		p.LocalRead(false, 2) // c = 6
+	}
+	if p.Counter() != 6 {
+		t.Fatalf("setup counter = %d", p.Counter())
+	}
+	p.ObserveJoinCost(2) // K: 8→4→2; c must clamp to 2
+	if p.CurrentK() != 2 || p.Counter() != 2 {
+		t.Fatalf("K=%d c=%d, want 2/2", p.CurrentK(), p.Counter())
+	}
+}
+
+func TestDoublingHalvingBehavesLikeBasicAtFixedK(t *testing.T) {
+	// With a constant join cost the policy must match Basic exactly.
+	b, _ := NewBasic(6)
+	d, _ := NewDoublingHalving(6)
+	events := []struct {
+		read   bool
+		member bool
+		rg     int
+	}{
+		{true, false, 2}, {true, false, 2}, {true, false, 2},
+		{false, true, 0}, {false, true, 0}, {true, true, 0},
+		{false, true, 0}, {false, true, 0}, {false, true, 0}, {false, true, 0},
+	}
+	for i, e := range events {
+		d.ObserveJoinCost(6)
+		var db, dd Decision
+		if e.read {
+			db = b.LocalRead(e.member, e.rg)
+			dd = d.LocalRead(e.member, e.rg)
+		} else {
+			db = b.Update(e.member)
+			dd = d.Update(e.member)
+		}
+		if db != dd || b.Counter() != d.Counter() {
+			t.Fatalf("step %d: basic(%v,c=%d) vs doubling(%v,c=%d)",
+				i, db, b.Counter(), dd, d.Counter())
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package adaptive
+
+import "testing"
+
+func TestRandomizedValidation(t *testing.T) {
+	if _, err := NewRandomized(0, 1); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestRandomizedThresholdInRange(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p, err := NewRandomized(16, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Threshold() < 1 || p.Threshold() > 16 {
+			t.Fatalf("seed %d: threshold %d out of (0,16]", seed, p.Threshold())
+		}
+	}
+}
+
+func TestRandomizedThresholdDistributionSkewsHigh(t *testing.T) {
+	// The e/(e−1) density puts more mass near K than near 0: the mean of
+	// T/K is 1/(e−1) ≈ 0.58... compute: E[T] = K·(e−2)/(e−1) ≈ 0.418K?
+	// Rather than pin the constant, check the empirical mean sits in a
+	// sane interior band and the distribution is not degenerate.
+	const k = 100
+	sum, lo, hi := 0, k, 0
+	for seed := int64(0); seed < 400; seed++ {
+		p, _ := NewRandomized(k, seed)
+		v := p.Threshold()
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	mean := float64(sum) / 400
+	if mean < 0.25*k || mean > 0.75*k {
+		t.Errorf("mean threshold %.1f outside sane band", mean)
+	}
+	if hi-lo < k/4 {
+		t.Errorf("threshold distribution degenerate: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestRandomizedJoinsAndLeaves(t *testing.T) {
+	p, _ := NewRandomized(8, 3)
+	joined := false
+	for i := 0; i < 8 && !joined; i++ {
+		if p.LocalRead(false, 2) == Join {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Fatal("never joined within K reads")
+	}
+	// After joining the counter is at K; K updates drive a leave and a
+	// threshold redraw.
+	var left bool
+	for i := 0; i < 8; i++ {
+		if p.Update(true) == Leave {
+			left = true
+			break
+		}
+	}
+	if !left {
+		t.Fatal("never left after K updates")
+	}
+	if p.Counter() != 0 {
+		t.Fatalf("counter %d after leave", p.Counter())
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestRandomizedCounterBounds(t *testing.T) {
+	p, _ := NewRandomized(5, 7)
+	member := false
+	for i := 0; i < 500; i++ {
+		var d Decision
+		if i%3 == 0 {
+			d = p.Update(member)
+		} else {
+			d = p.LocalRead(member, 1+i%3)
+		}
+		if d == Join {
+			member = true
+		}
+		if d == Leave {
+			member = false
+		}
+		if p.Counter() < 0 || p.Counter() > 5 {
+			t.Fatalf("counter %d out of [0,K]", p.Counter())
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package class
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"paso/internal/tuple"
+)
+
+// RangePartition shards one named tuple family by the value of an integer
+// key field: bucket i holds keys in [bounds[i-1], bounds[i]). Range and
+// equality criteria on the key field map to just the overlapping buckets,
+// so sc-list stays short for the range workloads tree stores serve (§5's
+// "binary search tree for range queries" regime); everything else falls
+// into a catch-all class.
+//
+// With k split points there are k+1 buckets plus the catch-all, giving the
+// write-group layer k+2 independently placed classes.
+type RangePartition struct {
+	name   string
+	field  int
+	bounds []int64 // sorted, strictly increasing
+}
+
+var _ Classifier = (*RangePartition)(nil)
+
+// NewRangePartition builds a partition for tuples named name, keyed on
+// field index field (≥ 1; field 0 is the name), split at the given bounds.
+func NewRangePartition(name string, field int, bounds []int64) (*RangePartition, error) {
+	if name == "" {
+		return nil, fmt.Errorf("class: range partition needs a tuple name")
+	}
+	if field < 1 {
+		return nil, fmt.Errorf("class: key field %d must be ≥ 1", field)
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("class: range partition needs at least one bound")
+	}
+	cp := append([]int64(nil), bounds...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	for i := 1; i < len(cp); i++ {
+		if cp[i] == cp[i-1] {
+			return nil, fmt.Errorf("class: duplicate bound %d", cp[i])
+		}
+	}
+	return &RangePartition{name: name, field: field, bounds: cp}, nil
+}
+
+// bucketOf returns the bucket index for a key: 0 for key < bounds[0],
+// i for bounds[i-1] ≤ key < bounds[i], len(bounds) for key ≥ last bound.
+func (c *RangePartition) bucketOf(key int64) int {
+	return sort.Search(len(c.bounds), func(i int) bool { return key < c.bounds[i] })
+}
+
+func (c *RangePartition) bucketID(i int) ID {
+	return ID(c.name + "/r" + strconv.Itoa(i))
+}
+
+// catchAll holds tuples that are not shaped like the partitioned family.
+func (c *RangePartition) catchAll() ID { return ID(c.name + "/other") }
+
+// ClassOf implements Classifier.
+func (c *RangePartition) ClassOf(t tuple.Tuple) ID {
+	if t.Name() != c.name || c.field >= t.Arity() || t.Field(c.field).Kind() != tuple.KindInt {
+		return c.catchAll()
+	}
+	return c.bucketID(c.bucketOf(t.Field(c.field).MustInt()))
+}
+
+// SearchList implements Classifier. Templates pinning the name and
+// constraining the key field with Eq or Range visit only the overlapping
+// buckets; a name-pinned template with a typed int wildcard visits every
+// bucket; anything else must also consider the catch-all.
+func (c *RangePartition) SearchList(tp tuple.Template) []ID {
+	name, named := tp.Name()
+	if named && name != c.name {
+		return []ID{c.catchAll()}
+	}
+	allBuckets := func() []ID {
+		out := make([]ID, 0, len(c.bounds)+2)
+		for i := 0; i <= len(c.bounds); i++ {
+			out = append(out, c.bucketID(i))
+		}
+		return out
+	}
+	if !named {
+		return append(allBuckets(), c.catchAll())
+	}
+	// Named correctly; check the key field constraint.
+	if c.field >= tp.Arity() {
+		// A template with fewer fields can only match short tuples, which
+		// all classify to the catch-all.
+		return []ID{c.catchAll()}
+	}
+	m := tp.Matcher(c.field)
+	if m.Kind != tuple.KindInt {
+		// Non-int key field: only catch-all tuples can match.
+		return []ID{c.catchAll()}
+	}
+	switch m.Op {
+	case tuple.OpEq:
+		return []ID{c.bucketID(c.bucketOf(m.A.MustInt()))}
+	case tuple.OpRange:
+		lo, hi := c.bucketOf(m.A.MustInt()), c.bucketOf(m.B.MustInt())
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		out := make([]ID, 0, hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			out = append(out, c.bucketID(i))
+		}
+		return out
+	default:
+		// Wildcard / Ne / other: any bucket may hold a match.
+		return allBuckets()
+	}
+}
+
+// Classes implements Classifier.
+func (c *RangePartition) Classes() []ID {
+	out := make([]ID, 0, len(c.bounds)+2)
+	for i := 0; i <= len(c.bounds); i++ {
+		out = append(out, c.bucketID(i))
+	}
+	return append(out, c.catchAll())
+}

@@ -1,0 +1,159 @@
+package class
+
+import (
+	"math/rand"
+	"testing"
+
+	"paso/internal/tuple"
+)
+
+func mustRange(t *testing.T) *RangePartition {
+	t.Helper()
+	c, err := NewRangePartition("kv", 1, []int64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func kv(key int64) tuple.Tuple {
+	return tuple.Make(tuple.String("kv"), tuple.Int(key), tuple.String("v"))
+}
+
+func TestRangePartitionValidation(t *testing.T) {
+	if _, err := NewRangePartition("", 1, []int64{1}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRangePartition("kv", 0, []int64{1}); err == nil {
+		t.Error("field 0 accepted")
+	}
+	if _, err := NewRangePartition("kv", 1, nil); err == nil {
+		t.Error("no bounds accepted")
+	}
+	if _, err := NewRangePartition("kv", 1, []int64{5, 5}); err == nil {
+		t.Error("duplicate bounds accepted")
+	}
+	// Unsorted bounds are sorted internally.
+	c, err := NewRangePartition("kv", 1, []int64{30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ClassOf(kv(15)); got != "kv/r1" {
+		t.Errorf("unsorted-bounds ClassOf = %q", got)
+	}
+}
+
+func TestRangePartitionClassOf(t *testing.T) {
+	c := mustRange(t)
+	tests := []struct {
+		key  int64
+		want ID
+	}{
+		{-5, "kv/r0"},
+		{9, "kv/r0"},
+		{10, "kv/r1"},
+		{19, "kv/r1"},
+		{20, "kv/r2"},
+		{29, "kv/r2"},
+		{30, "kv/r3"},
+		{1000, "kv/r3"},
+	}
+	for _, tt := range tests {
+		if got := c.ClassOf(kv(tt.key)); got != tt.want {
+			t.Errorf("ClassOf(key=%d) = %q, want %q", tt.key, got, tt.want)
+		}
+	}
+	// Wrong shapes go to the catch-all.
+	if got := c.ClassOf(tuple.Make(tuple.String("other"), tuple.Int(5))); got != "kv/other" {
+		t.Errorf("foreign tuple class = %q", got)
+	}
+	if got := c.ClassOf(tuple.Make(tuple.String("kv"))); got != "kv/other" {
+		t.Errorf("short tuple class = %q", got)
+	}
+	if got := c.ClassOf(tuple.Make(tuple.String("kv"), tuple.String("notint"))); got != "kv/other" {
+		t.Errorf("non-int key class = %q", got)
+	}
+}
+
+func TestRangePartitionSearchListPruning(t *testing.T) {
+	c := mustRange(t)
+	// Exact key: one bucket.
+	tp := tuple.NewTemplate(tuple.Eq(tuple.String("kv")), tuple.Eq(tuple.Int(25)), tuple.Any(tuple.KindString))
+	if got := c.SearchList(tp); len(got) != 1 || got[0] != "kv/r2" {
+		t.Errorf("exact SearchList = %v", got)
+	}
+	// Range straddling two buckets.
+	tp = tuple.NewTemplate(tuple.Eq(tuple.String("kv")),
+		tuple.Range(tuple.Int(15), tuple.Int(25)), tuple.Any(tuple.KindString))
+	got := c.SearchList(tp)
+	if len(got) != 2 || got[0] != "kv/r1" || got[1] != "kv/r2" {
+		t.Errorf("range SearchList = %v", got)
+	}
+	// Wildcard key: all buckets, no catch-all (arity matches family).
+	tp = tuple.NewTemplate(tuple.Eq(tuple.String("kv")), tuple.Any(tuple.KindInt), tuple.Any(tuple.KindString))
+	if got := c.SearchList(tp); len(got) != 4 {
+		t.Errorf("wildcard SearchList = %v", got)
+	}
+	// Foreign name: catch-all only.
+	tp = tuple.NewTemplate(tuple.Eq(tuple.String("zzz")), tuple.Any(tuple.KindInt))
+	if got := c.SearchList(tp); len(got) != 1 || got[0] != "kv/other" {
+		t.Errorf("foreign SearchList = %v", got)
+	}
+}
+
+// TestRangePartitionExhaustive: the §4.1 requirement — every matching
+// tuple's class appears in the template's search list.
+func TestRangePartitionExhaustive(t *testing.T) {
+	c := mustRange(t)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		key := int64(r.Intn(60)) - 10
+		tu := kv(key)
+		var tp tuple.Template
+		switch r.Intn(4) {
+		case 0:
+			tp = tuple.NewTemplate(tuple.Eq(tuple.String("kv")),
+				tuple.Eq(tuple.Int(key)), tuple.Any(tuple.KindString))
+		case 1:
+			lo := key - int64(r.Intn(15))
+			hi := key + int64(r.Intn(15))
+			tp = tuple.NewTemplate(tuple.Eq(tuple.String("kv")),
+				tuple.Range(tuple.Int(lo), tuple.Int(hi)), tuple.Any(tuple.KindString))
+		case 2:
+			tp = tuple.NewTemplate(tuple.Eq(tuple.String("kv")),
+				tuple.Any(tuple.KindInt), tuple.Any(tuple.KindString))
+		default:
+			tp = tuple.NewTemplate(tuple.Any(tuple.KindString),
+				tuple.Any(tuple.KindInt), tuple.Any(tuple.KindString))
+		}
+		if !tp.Matches(tu) {
+			continue
+		}
+		cls := c.ClassOf(tu)
+		found := false
+		for _, id := range c.SearchList(tp) {
+			if id == cls {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("class %q of key %d not in search list %v for %v", cls, key, c.SearchList(tp), tp)
+		}
+	}
+}
+
+func TestRangePartitionClasses(t *testing.T) {
+	c := mustRange(t)
+	got := c.Classes()
+	if len(got) != 5 { // 4 buckets + catch-all
+		t.Fatalf("Classes = %v", got)
+	}
+	seen := make(map[ID]bool)
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate class %q", id)
+		}
+		seen[id] = true
+	}
+}

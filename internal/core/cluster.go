@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paso/internal/class"
+	"paso/internal/cost"
+	"paso/internal/simnet"
+	"paso/internal/transport"
+)
+
+// Cluster assembles n machines over a simulated LAN into a PASO system and
+// orchestrates crashes and restarts.
+type Cluster struct {
+	cfg Config
+	net *simnet.Net
+	n   int
+
+	mu           sync.Mutex
+	machines     map[transport.NodeID]*Machine
+	support      map[class.ID][]transport.NodeID
+	incarnations map[transport.NodeID]uint64
+
+	// Support-maintenance state (§5.2), used when cfg.SupportSelector is
+	// set: failure history for the selector and the copy-cost meter.
+	failClock    int
+	lastFailed   map[transport.NodeID]int
+	replacements int
+}
+
+// NewCluster builds and starts a PASO system with machine IDs 1..n. Every
+// class's basic support B(C) is either taken from cfg.Support or assigned
+// round-robin with |B(C)| = λ+1.
+func NewCluster(cfg Config, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: cluster size %d < 1", n)
+	}
+	cfg, err := cfg.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:          cfg,
+		net:          simnet.New(cfg.Model),
+		n:            n,
+		machines:     make(map[transport.NodeID]*Machine, n),
+		support:      make(map[class.ID][]transport.NodeID),
+		incarnations: make(map[transport.NodeID]uint64, n),
+	}
+	if cfg.Support != nil {
+		for cls, ids := range cfg.Support {
+			c.support[cls] = append([]transport.NodeID(nil), ids...)
+		}
+	} else {
+		classes := cfg.Classifier.Classes()
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		for i, cls := range classes {
+			ids := make([]transport.NodeID, 0, cfg.Lambda+1)
+			for k := 0; k <= cfg.Lambda; k++ {
+				ids = append(ids, transport.NodeID((i+k)%n+1))
+			}
+			c.support[cls] = ids
+		}
+	}
+	for cls, ids := range c.support {
+		if len(ids) != cfg.Lambda+1 {
+			return nil, fmt.Errorf("core: class %s support size %d != λ+1 = %d",
+				cls, len(ids), cfg.Lambda+1)
+		}
+	}
+	if cfg.SupportSelector != nil {
+		cfg.SupportSelector.Reset(n)
+	}
+	for id := transport.NodeID(1); id <= transport.NodeID(n); id++ {
+		if err := c.startMachine(id); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// startMachine attaches and initializes one machine.
+func (c *Cluster) startMachine(id transport.NodeID) error {
+	ep, err := c.net.Join(id)
+	if err != nil {
+		return fmt.Errorf("cluster: attach %d: %w", id, err)
+	}
+	var basics []class.ID
+	for cls, ids := range c.support {
+		for _, sid := range ids {
+			if sid == id {
+				basics = append(basics, cls)
+				break
+			}
+		}
+	}
+	sort.Slice(basics, func(i, j int) bool { return basics[i] < basics[j] })
+	c.mu.Lock()
+	c.incarnations[id]++
+	inc := c.incarnations[id]
+	c.mu.Unlock()
+	m := newMachine(id, ep, c.cfg, basics, inc)
+	if err := m.start(); err != nil {
+		m.stop()
+		return err
+	}
+	c.mu.Lock()
+	c.machines[id] = m
+	c.mu.Unlock()
+	return nil
+}
+
+// Machine returns the live machine with the given ID, or nil if it is
+// down.
+func (c *Cluster) Machine(id transport.NodeID) *Machine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.machines[id]
+}
+
+// Machines returns the live machines in ID order.
+func (c *Cluster) Machines() []*Machine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]transport.NodeID, 0, len(c.machines))
+	for id := range c.machines {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Machine, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.machines[id])
+	}
+	return out
+}
+
+// Size returns the configured machine count n.
+func (c *Cluster) Size() int { return c.n }
+
+// Net exposes the simulated LAN (for transport-level cost metering).
+func (c *Cluster) Net() *simnet.Net { return c.net }
+
+// Support returns B(C) for a class.
+func (c *Cluster) Support(cls class.ID) []transport.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]transport.NodeID(nil), c.support[cls]...)
+}
+
+// Crash fails a machine: its endpoint detaches (queued messages lost) and
+// its local memory is discarded (§3.1). A crashed ID can be Restarted.
+// With a SupportSelector configured, every class the machine basically
+// supported immediately gets a replacement support machine (§5.2).
+func (c *Cluster) Crash(id transport.NodeID) {
+	c.mu.Lock()
+	m := c.machines[id]
+	delete(c.machines, id)
+	c.failClock++
+	if c.lastFailed == nil {
+		c.lastFailed = make(map[transport.NodeID]int)
+	}
+	c.lastFailed[id] = c.failClock
+	c.mu.Unlock()
+	if m == nil {
+		return
+	}
+	c.net.Crash(id)
+	m.stop()
+	if c.cfg.SupportSelector != nil {
+		c.maintainSupport(id)
+	}
+}
+
+// maintainSupport replaces a crashed machine in every B(C) it belonged to,
+// implementing the §5.2 constraint |wg(C)| = min(λ+1, n−f). The selector
+// chooses among live machines outside the class's support; the promotion
+// copies the class state (the g(ℓ) cost the support-selection analysis
+// charges).
+func (c *Cluster) maintainSupport(dead transport.NodeID) {
+	c.mu.Lock()
+	sel := c.cfg.SupportSelector
+	now := c.failClock
+	lastFailed := make(map[int]int, len(c.lastFailed))
+	for id, t := range c.lastFailed {
+		lastFailed[int(id)] = t
+	}
+	type job struct {
+		cls  class.ID
+		pick *Machine
+	}
+	var jobs []job
+	for cls, sup := range c.support {
+		idx := -1
+		for i, sid := range sup {
+			if sid == dead {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		// Candidates: live machines not already supporting this class.
+		var outside []int
+		for mid := range c.machines {
+			inSup := false
+			for _, sid := range sup {
+				if sid == mid {
+					inSup = true
+					break
+				}
+			}
+			if !inSup {
+				outside = append(outside, int(mid))
+			}
+		}
+		if len(outside) == 0 {
+			// n−f < λ+1: nobody left to promote; the slot stays empty
+			// until a restart (the §5.2 min(λ+1, n−f) regime).
+			continue
+		}
+		sort.Ints(outside)
+		pick := transport.NodeID(sel.Pick(outside, now, lastFailed, nil))
+		repl := c.machines[pick]
+		if repl == nil {
+			continue
+		}
+		sup[idx] = pick
+		c.replacements++
+		jobs = append(jobs, job{cls: cls, pick: repl})
+	}
+	c.mu.Unlock()
+	// Promotions (state transfers) happen outside the cluster lock.
+	for _, j := range jobs {
+		if err := j.pick.MakeBasic(j.cls); err != nil {
+			continue // the replacement died too; the next crash retries
+		}
+	}
+}
+
+// Replacements reports how many support replacements the selector has
+// performed (each one copied a class state — the §5.2 cost measure).
+func (c *Cluster) Replacements() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replacements
+}
+
+// Restart brings a crashed machine back: a fresh memory server runs its
+// initialization phase, re-joining its basic-support groups with state
+// transfer. The machine counts as faulty until Restart returns (§3.1).
+func (c *Cluster) Restart(id transport.NodeID) error {
+	c.mu.Lock()
+	_, alreadyUp := c.machines[id]
+	c.mu.Unlock()
+	if alreadyUp {
+		return fmt.Errorf("cluster: machine %d already up", id)
+	}
+	return c.startMachine(id)
+}
+
+// Down reports how many machines are currently failed (k in §4.1).
+func (c *Cluster) Down() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n - len(c.machines)
+}
+
+// CheckFaultTolerance verifies the §4.1 fault-tolerance condition: with k
+// failed machines, every class has more than λ−k live write-group members.
+func (c *Cluster) CheckFaultTolerance() error {
+	c.mu.Lock()
+	machines := make([]*Machine, 0, len(c.machines))
+	for _, m := range c.machines {
+		machines = append(machines, m)
+	}
+	support := make(map[class.ID][]transport.NodeID, len(c.support))
+	for cls, ids := range c.support {
+		support[cls] = ids
+	}
+	k := c.n - len(machines)
+	lambda := c.cfg.Lambda
+	c.mu.Unlock()
+
+	for cls := range support {
+		count := 0
+		for _, m := range machines {
+			if m.MemberOf(cls) {
+				count++
+			}
+		}
+		// The paper's condition is |wg(C)| > λ−k for k ≤ λ; beyond the
+		// tolerated crash count the bound goes vacuous, but losing the
+		// last replica is always a violation worth reporting.
+		need := lambda - k
+		if need < 0 {
+			need = 0
+		}
+		if count <= need {
+			return fmt.Errorf("core: class %s has %d live replicas, need > %d",
+				cls, count, need)
+		}
+	}
+	return nil
+}
+
+// BusTotals returns the simulated LAN's raw transport meter (actual frames
+// sent by the protocol, as opposed to the Figure 1 model costs kept per
+// machine).
+func (c *Cluster) BusTotals() cost.Totals {
+	return c.net.Meter().Snapshot()
+}
+
+// Shutdown stops every machine. The cluster is unusable afterwards.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	ms := make([]*Machine, 0, len(c.machines))
+	ids := make([]transport.NodeID, 0, len(c.machines))
+	for id, m := range c.machines {
+		ms = append(ms, m)
+		ids = append(ids, id)
+	}
+	c.machines = make(map[transport.NodeID]*Machine)
+	c.mu.Unlock()
+	for i, m := range ms {
+		c.net.Crash(ids[i])
+		m.stop()
+	}
+}

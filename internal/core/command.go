@@ -1,0 +1,157 @@
+// Package core implements the PASO memory engine on top of the
+// virtual-synchrony layer: write groups and read groups per object class
+// (paper §4.1), the memory-server command handlers (§4.2), and the macro
+// expansions of the insert, read, and read&del primitives (§4.3 and
+// Appendix A), including the blocking variants (busy-wait, read markers,
+// and the hybrid of both).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"paso/internal/class"
+	"paso/internal/tuple"
+)
+
+// cmdKind discriminates memory-server commands carried in gcasts.
+type cmdKind uint8
+
+const (
+	cmdStore  cmdKind = iota + 1 // store(o): insert an object
+	cmdRead                      // mem-read(sc, C): return a match or fail
+	cmdRemove                    // remove(sc, C): delete + return oldest match
+	cmdMark                      // place a read marker for a blocked read
+	cmdSwap                      // atomic remove(sc)+store(o) (tuple swap)
+)
+
+// command is a decoded memory-server command.
+type command struct {
+	kind  cmdKind
+	class class.ID
+	obj   tuple.Tuple    // cmdStore / cmdSwap (the replacement)
+	tpl   tuple.Template // cmdRead / cmdRemove / cmdMark / cmdSwap
+}
+
+// errBadCommand reports an undecodable command payload.
+var errBadCommand = errors.New("core: bad command encoding")
+
+// encodeCommand serializes a command: kind, class, then the object or
+// template. Sizes feed the α+β cost model, so the encoding is the same
+// compact binary as the tuple codec.
+func encodeCommand(c *command) []byte {
+	var body []byte
+	switch c.kind {
+	case cmdStore:
+		body = tuple.EncodeTuple(c.obj)
+	case cmdRead, cmdRemove, cmdMark:
+		body = tuple.EncodeTemplate(c.tpl)
+	case cmdSwap:
+		tpl := tuple.EncodeTemplate(c.tpl)
+		body = binary.LittleEndian.AppendUint32(nil, uint32(len(tpl)))
+		body = append(body, tpl...)
+		body = append(body, tuple.EncodeTuple(c.obj)...)
+	}
+	cls := []byte(c.class)
+	out := make([]byte, 0, 1+2+len(cls)+len(body))
+	out = append(out, byte(c.kind))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(cls)))
+	out = append(out, cls...)
+	out = append(out, body...)
+	return out
+}
+
+// decodeCommand parses a command payload.
+func decodeCommand(b []byte) (*command, error) {
+	if len(b) < 3 {
+		return nil, errBadCommand
+	}
+	c := &command{kind: cmdKind(b[0])}
+	n := int(binary.LittleEndian.Uint16(b[1:3]))
+	if len(b) < 3+n {
+		return nil, errBadCommand
+	}
+	c.class = class.ID(b[3 : 3+n])
+	body := b[3+n:]
+	var err error
+	switch c.kind {
+	case cmdStore:
+		c.obj, err = tuple.DecodeTuple(body)
+	case cmdRead, cmdRemove, cmdMark:
+		c.tpl, err = tuple.DecodeTemplate(body)
+	case cmdSwap:
+		if len(body) < 4 {
+			return nil, errBadCommand
+		}
+		tlen := int(binary.LittleEndian.Uint32(body))
+		if len(body) < 4+tlen {
+			return nil, errBadCommand
+		}
+		c.tpl, err = tuple.DecodeTemplate(body[4 : 4+tlen])
+		if err == nil {
+			c.obj, err = tuple.DecodeTuple(body[4+tlen:])
+		}
+	default:
+		return nil, fmt.Errorf("%w: kind %d", errBadCommand, b[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadCommand, err)
+	}
+	return c, nil
+}
+
+// response is a memory server's answer to a command.
+type response struct {
+	ok     bool
+	probes uint32 // data-structure probes spent (work accounting)
+	obj    tuple.Tuple
+}
+
+// encodeResponse serializes a response.
+func encodeResponse(r *response) []byte {
+	out := make([]byte, 0, 5+64)
+	if r.ok {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.LittleEndian.AppendUint32(out, r.probes)
+	if r.ok {
+		out = append(out, tuple.EncodeTuple(r.obj)...)
+	}
+	return out
+}
+
+// decodeResponse parses a response payload.
+func decodeResponse(b []byte) (*response, error) {
+	if len(b) < 5 {
+		return nil, errBadCommand
+	}
+	r := &response{ok: b[0] == 1, probes: binary.LittleEndian.Uint32(b[1:5])}
+	if r.ok {
+		obj, err := tuple.DecodeTuple(b[5:])
+		if err != nil {
+			return nil, fmt.Errorf("decode response: %w", err)
+		}
+		r.obj = obj
+	}
+	return r, nil
+}
+
+// wgName and rgName build the vsync group names for a class's write and
+// read groups.
+func wgName(cls class.ID) string { return "wg/" + string(cls) }
+func rgName(cls class.ID) string { return "rg/" + string(cls) }
+
+// parseGroup splits a group name into kind ("wg" or "rg") and class.
+func parseGroup(group string) (kind string, cls class.ID, ok bool) {
+	if len(group) < 4 || group[2] != '/' {
+		return "", "", false
+	}
+	kind = group[:2]
+	if kind != "wg" && kind != "rg" {
+		return "", "", false
+	}
+	return kind, class.ID(group[3:]), true
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"paso/internal/adaptive"
+	"paso/internal/class"
+	"paso/internal/cost"
+	"paso/internal/storage"
+	"paso/internal/support"
+	"paso/internal/transport"
+)
+
+// Config parameterizes a PASO cluster.
+type Config struct {
+	// Classifier partitions objects into classes (obj-clss and sc-list of
+	// §4.1). Required.
+	Classifier class.Classifier
+
+	// Lambda is the number of simultaneous crashes to tolerate (§3.1).
+	// Each class's basic support B(C) has λ+1 machines. Must satisfy
+	// λ < n.
+	Lambda int
+
+	// Model is the α+β communication cost model (§3.3).
+	Model cost.Model
+
+	// StoreKind selects the default per-class local data structure (§5:
+	// hash for dictionary queries, tree for ranges, list for general
+	// patterns).
+	StoreKind storage.Kind
+
+	// StoreKindFor optionally overrides the store kind per class (§5:
+	// "several such data structures may be used" — e.g. tree stores for
+	// range-partitioned buckets, a list for the catch-all). Returning 0
+	// falls back to StoreKind.
+	StoreKindFor func(cls class.ID) storage.Kind
+
+	// TreeKeyField is the field index tree stores order on.
+	TreeKeyField int
+
+	// UseReadGroups routes read gcasts to rg(C) ⊆ wg(C) instead of the
+	// whole write group (§4.3's read-group optimization).
+	UseReadGroups bool
+
+	// NewPolicy builds the adaptive replication policy for one
+	// (machine, class) pair (§5.1). Nil means Static (no adaptation).
+	NewPolicy func(cls class.ID) adaptive.Policy
+
+	// Support fixes the basic support B(C) per class. If nil, supports
+	// are assigned round-robin over machine IDs at cluster construction.
+	Support map[class.ID][]transport.NodeID
+
+	// PollInterval is the busy-wait retry period for blocking operations.
+	PollInterval time.Duration
+
+	// MarkerFallback is the slow-poll period backing marker-based
+	// blocking reads (the "hybrid" strategy of §4.3). Zero disables the
+	// fallback (pure markers).
+	MarkerFallback time.Duration
+
+	// SupportSelector enables dynamic support maintenance (§5.2): when a
+	// basic-support machine crashes, the cluster immediately replaces it
+	// in B(C) with a live machine chosen by this selector (e.g.
+	// support.LRF for the paper's least-recently-failed heuristic),
+	// keeping |wg(C)| = min(λ+1, n−f). Nil keeps supports static — a
+	// crashed support machine's slot stays empty until it restarts.
+	SupportSelector support.Selector
+}
+
+// withDefaults fills zero fields and validates.
+func (c Config) withDefaults(n int) (Config, error) {
+	if c.Classifier == nil {
+		return c, fmt.Errorf("core: Classifier is required")
+	}
+	if c.Lambda < 0 {
+		return c, fmt.Errorf("core: Lambda = %d < 0", c.Lambda)
+	}
+	if c.Lambda >= n && n > 0 {
+		return c, fmt.Errorf("core: Lambda = %d must be < n = %d", c.Lambda, n)
+	}
+	if c.Model == (cost.Model{}) {
+		c.Model = cost.DefaultModel()
+	}
+	if c.StoreKind == 0 {
+		c.StoreKind = storage.KindHash
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = time.Millisecond
+	}
+	return c, nil
+}
+
+// policyFor instantiates the policy for a class, defaulting to Static.
+func (c Config) policyFor(cls class.ID) adaptive.Policy {
+	if c.NewPolicy == nil {
+		return adaptive.Static{}
+	}
+	if p := c.NewPolicy(cls); p != nil {
+		return p
+	}
+	return adaptive.Static{}
+}

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"paso/internal/adaptive"
+	"paso/internal/class"
+	"paso/internal/transport"
+	"paso/internal/tuple"
+	"paso/internal/vsync"
+)
+
+// Common engine errors.
+var (
+	// ErrNoReplicas is returned when an operation reaches a class whose
+	// write group has no live members — the fault-tolerance condition
+	// (§4.1) was violated, e.g. more than λ simultaneous crashes.
+	ErrNoReplicas = errors.New("core: no live replicas for class")
+	// ErrMachineDown is returned by operations on a crashed machine.
+	ErrMachineDown = errors.New("core: machine is down")
+	// ErrTimeout is returned by blocking operations that expire.
+	ErrTimeout = errors.New("core: blocking operation timed out")
+)
+
+// Machine is one node of the PASO system: it hosts a memory server and
+// serves PASO operations for the compute processes running on it. All
+// methods are safe for concurrent use by multiple compute goroutines.
+type Machine struct {
+	id    transport.NodeID
+	cfg   Config
+	node  *vsync.Node
+	srv   *server
+	idgen *tuple.IDGen
+	ops   *opMeter
+
+	basic map[class.ID]bool // classes with this machine in B(C)
+
+	polMu    sync.Mutex
+	policies map[class.ID]adaptive.Policy
+	moving   map[class.ID]bool // membership change in flight
+
+	actions chan func()
+	stopped chan struct{}
+	wg      sync.WaitGroup
+
+	wakeMu   sync.Mutex
+	wakeCh   chan struct{} // closed+replaced on each marker wakeup
+	initTime time.Duration
+}
+
+// machineHandler adapts the server to vsync.Handler while routing marker
+// wakeups and policy decay through the machine.
+type machineHandler struct {
+	m *Machine
+}
+
+var _ vsync.Handler = machineHandler{}
+
+func (h machineHandler) Deliver(group string, origin transport.NodeID, payload []byte) ([]byte, bool) {
+	return h.m.srv.Deliver(group, origin, payload)
+}
+func (h machineHandler) Snapshot(group string) []byte       { return h.m.srv.Snapshot(group) }
+func (h machineHandler) Install(group string, state []byte) { h.m.srv.Install(group, state) }
+func (h machineHandler) Evict(group string)                 { h.m.srv.Evict(group) }
+func (h machineHandler) ViewChange(group string, members []transport.NodeID) {
+	h.m.srv.ViewChange(group, members)
+}
+func (h machineHandler) AppMessage(from transport.NodeID, payload []byte) {
+	h.m.wake()
+}
+
+// StartMachine wires a standalone machine over any transport endpoint and
+// runs its initialization phase. It is the entry point for deployments
+// where each machine is its own process (cmd/pasod over the TCP
+// transport); in-process clusters use NewCluster instead. The caller owns
+// the endpoint's lifetime; Stop the machine before closing it.
+func StartMachine(ep transport.Endpoint, cfg Config, basics []class.ID, incarnation uint64) (*Machine, error) {
+	cfg, err := cfg.withDefaults(0)
+	if err != nil {
+		return nil, err
+	}
+	m := newMachine(ep.ID(), ep, cfg, basics, incarnation)
+	if err := m.start(); err != nil {
+		m.stop()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Stop shuts a standalone machine down (graceful or crash teardown).
+func (m *Machine) Stop() { m.stop() }
+
+// newMachine wires a machine over an endpoint. Call start to run the init
+// phase (joining the basic-support groups). incarnation distinguishes
+// restarts of the same machine ID so object identities stay globally
+// unique across crash/restart cycles (§4: IDs are "signed by the creating
+// process", and a restarted server is a new process).
+func newMachine(id transport.NodeID, ep transport.Endpoint, cfg Config, basicClasses []class.ID, incarnation uint64) *Machine {
+	m := &Machine{
+		id:       id,
+		cfg:      cfg,
+		srv:      nil,
+		idgen:    tuple.NewIDGen(uint64(id) | incarnation<<32),
+		ops:      newOpMeter(),
+		basic:    make(map[class.ID]bool, len(basicClasses)),
+		policies: make(map[class.ID]adaptive.Policy),
+		moving:   make(map[class.ID]bool),
+		actions:  make(chan func(), 64),
+		stopped:  make(chan struct{}),
+		wakeCh:   make(chan struct{}),
+	}
+	for _, cls := range basicClasses {
+		m.basic[cls] = true
+	}
+	m.srv = newServer(cfg, m.onUpdate, m.notifyReader)
+	m.node = vsync.NewNode(ep, machineHandler{m: m})
+	m.wg.Add(1)
+	go m.actionWorker()
+	return m
+}
+
+// start runs the initialization phase (§3.1/§4.2): join the write group —
+// and, when read groups are enabled, the read group — of every class this
+// machine basically supports, receiving state transfers. The machine is
+// "faulty" until start returns.
+func (m *Machine) start() error {
+	begin := time.Now()
+	for cls := range m.basic {
+		if err := m.node.Join(wgName(cls)); err != nil {
+			return fmt.Errorf("machine %d: join %s: %w", m.id, wgName(cls), err)
+		}
+		if m.cfg.UseReadGroups {
+			if err := m.node.Join(rgName(cls)); err != nil {
+				return fmt.Errorf("machine %d: join %s: %w", m.id, rgName(cls), err)
+			}
+		}
+	}
+	m.initTime = time.Since(begin)
+	return nil
+}
+
+// stop shuts the machine down (crash or graceful teardown).
+func (m *Machine) stop() {
+	select {
+	case <-m.stopped:
+		return
+	default:
+	}
+	close(m.stopped)
+	m.node.Close()
+	m.wg.Wait()
+}
+
+// actionWorker executes policy-triggered joins and leaves asynchronously:
+// decisions can originate inside vsync delivery callbacks, which must not
+// call blocking node APIs themselves.
+func (m *Machine) actionWorker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stopped:
+			return
+		case f := <-m.actions:
+			f()
+		}
+	}
+}
+
+// ID returns the machine's node ID.
+func (m *Machine) ID() transport.NodeID { return m.id }
+
+// InitTime reports how long the initialization phase took.
+func (m *Machine) InitTime() time.Duration { return m.initTime }
+
+// Stats returns per-operation cost aggregates (Figure 1 measures).
+func (m *Machine) Stats() map[OpKind]OpStats { return m.ops.snapshot() }
+
+// IsBasic reports whether this machine is basic support for the class.
+func (m *Machine) IsBasic(cls class.ID) bool {
+	m.polMu.Lock()
+	defer m.polMu.Unlock()
+	return m.basic[cls]
+}
+
+// MemberOf reports whether this machine currently replicates the class.
+func (m *Machine) MemberOf(cls class.ID) bool { return m.node.Member(wgName(cls)) }
+
+// ClassLen returns the local live-object count for a class (ℓ).
+func (m *Machine) ClassLen(cls class.ID) int { return m.srv.classLen(cls) }
+
+// Node exposes the vsync node (used by the cluster layer and tests).
+func (m *Machine) Node() *vsync.Node { return m.node }
+
+// --- PASO primitives (Appendix A macro expansions) ---
+
+// Insert implements insert(o): stamp a unique identity and gcast store(o)
+// to the write group of the object's class. It returns the stored tuple
+// (with its assigned ID). On error the stamped tuple is still returned:
+// an insert interrupted by a crash may or may not have taken effect, and
+// the caller needs the identity to reason about that ambiguity.
+func (m *Machine) Insert(t tuple.Tuple) (tuple.Tuple, error) {
+	if m.isDown() {
+		return tuple.Tuple{}, ErrMachineDown
+	}
+	t = t.WithID(m.idgen.Next())
+	cls := m.cfg.Classifier.ClassOf(t)
+	payload := encodeCommand(&command{kind: cmdStore, class: cls, obj: t})
+	res, err := m.node.Gcast(wgName(cls), payload)
+	if err != nil {
+		return t, fmt.Errorf("insert: %w", err)
+	}
+	if res.Fail && res.GroupSize == 0 {
+		return t, ErrNoReplicas
+	}
+	// Figure 1: msg-cost g(2α+β|o|)+α; work g·I; time I + transit.
+	g := float64(res.GroupSize)
+	m.ops.add(OpInsert, m.cfg.Model.Insert(res.GroupSize, len(payload)), g, 1, false)
+	return t, nil
+}
+
+// Read implements the non-blocking read(sc): walk the search list; serve
+// locally for classes whose write group this machine belongs to, otherwise
+// gcast a mem-read to the read group (or write group when read groups are
+// disabled). Returns ok=false if no class yields a match.
+func (m *Machine) Read(tp tuple.Template) (tuple.Tuple, bool, error) {
+	if m.isDown() {
+		return tuple.Tuple{}, false, ErrMachineDown
+	}
+	for _, cls := range m.cfg.Classifier.SearchList(tp) {
+		if m.node.Member(wgName(cls)) {
+			obj, ok, probes := m.srv.localRead(cls, tp)
+			m.ops.add(OpReadLocal, 0, float64(probes), float64(probes), !ok)
+			m.policyRead(cls, true, 0)
+			if ok {
+				return obj, true, nil
+			}
+			continue
+		}
+		target := wgName(cls)
+		if m.cfg.UseReadGroups {
+			target = rgName(cls)
+		}
+		payload := encodeCommand(&command{kind: cmdRead, class: cls, tpl: tp})
+		res, err := m.node.Gcast(target, payload)
+		if err != nil {
+			return tuple.Tuple{}, false, fmt.Errorf("read: %w", err)
+		}
+		obj, ok, probes := decodeResult(res)
+		g := float64(res.GroupSize)
+		m.ops.add(OpReadRemote,
+			m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
+			g*float64(probes), float64(probes)+1, !ok)
+		m.policyRead(cls, false, res.GroupSize)
+		if ok {
+			return obj, true, nil
+		}
+	}
+	return tuple.Tuple{}, false, nil
+}
+
+// ReadDel implements the non-blocking read&del(sc): gcast remove to the
+// write group of each class in the search list until one succeeds. Unlike
+// read there is no purely local path — all replicas must apply the removal
+// (§4.3).
+func (m *Machine) ReadDel(tp tuple.Template) (tuple.Tuple, bool, error) {
+	if m.isDown() {
+		return tuple.Tuple{}, false, ErrMachineDown
+	}
+	for _, cls := range m.cfg.Classifier.SearchList(tp) {
+		payload := encodeCommand(&command{kind: cmdRemove, class: cls, tpl: tp})
+		res, err := m.node.Gcast(wgName(cls), payload)
+		if err != nil {
+			return tuple.Tuple{}, false, fmt.Errorf("read&del: %w", err)
+		}
+		obj, ok, probes := decodeResult(res)
+		g := float64(res.GroupSize)
+		m.ops.add(OpReadDel,
+			m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
+			g*float64(probes), float64(probes)+1, !ok)
+		if ok {
+			return obj, true, nil
+		}
+	}
+	return tuple.Tuple{}, false, nil
+}
+
+// Swap atomically replaces the oldest object matching tp with repl: the
+// removal and insertion execute as ONE ordered command, so no concurrent
+// operation can observe the gap between them (the tuple-swap operator of
+// Bakken & Schlichting, cited in §1 for reliable bag-of-task programs).
+// The replacement must belong to the same object class as the template's
+// match — cross-class swaps cannot be atomic under per-class groups.
+// Returns the removed object; ok=false (with repl NOT inserted) when
+// nothing matched.
+func (m *Machine) Swap(tp tuple.Template, repl tuple.Tuple) (tuple.Tuple, bool, error) {
+	if m.isDown() {
+		return tuple.Tuple{}, false, ErrMachineDown
+	}
+	repl = repl.WithID(m.idgen.Next())
+	cls := m.cfg.Classifier.ClassOf(repl)
+	inList := false
+	for _, c := range m.cfg.Classifier.SearchList(tp) {
+		if c == cls {
+			inList = true
+			break
+		}
+	}
+	if !inList {
+		return tuple.Tuple{}, false, fmt.Errorf(
+			"swap: replacement class %s not reachable by the template (cross-class swap)", cls)
+	}
+	payload := encodeCommand(&command{kind: cmdSwap, class: cls, tpl: tp, obj: repl})
+	res, err := m.node.Gcast(wgName(cls), payload)
+	if err != nil {
+		return tuple.Tuple{}, false, fmt.Errorf("swap: %w", err)
+	}
+	if res.Fail && res.GroupSize == 0 {
+		return tuple.Tuple{}, false, ErrNoReplicas
+	}
+	old, ok, probes := decodeResult(res)
+	g := float64(res.GroupSize)
+	m.ops.add(OpReadDel,
+		m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
+		g*float64(probes), float64(probes)+1, !ok)
+	return old, ok, nil
+}
+
+// decodeResult unpacks a gcast reply into a tuple.
+func decodeResult(res vsync.Result) (tuple.Tuple, bool, int) {
+	if res.Fail || len(res.Payload) == 0 {
+		// A fail reply may still carry probe accounting.
+		if r, err := decodeResponse(res.Payload); err == nil {
+			return tuple.Tuple{}, false, int(r.probes)
+		}
+		return tuple.Tuple{}, false, 0
+	}
+	r, err := decodeResponse(res.Payload)
+	if err != nil || !r.ok {
+		return tuple.Tuple{}, false, 0
+	}
+	return r.obj, true, int(r.probes)
+}
+
+// --- adaptive policy plumbing (§5.1) ---
+
+// policyFor returns this machine's policy for a class, creating it lazily.
+func (m *Machine) policyFor(cls class.ID) adaptive.Policy {
+	p, ok := m.policies[cls]
+	if !ok {
+		p = m.cfg.policyFor(cls)
+		m.policies[cls] = p
+	}
+	return p
+}
+
+// policyRead feeds a local compute process's read into the policy and
+// executes a Join decision.
+func (m *Machine) policyRead(cls class.ID, member bool, rgSize int) {
+	m.polMu.Lock()
+	p := m.policyFor(cls)
+	if ca, ok := p.(adaptive.CostAware); ok {
+		ca.ObserveJoinCost(maxInt(m.srv.classLen(cls), 1))
+	}
+	d := p.LocalRead(member, rgSize)
+	trigger := d == adaptive.Join && !member && !m.moving[cls] && !m.basic[cls]
+	if trigger {
+		m.moving[cls] = true
+	}
+	m.polMu.Unlock()
+	if trigger {
+		m.enqueueMove(cls, func() { m.doJoin(cls) })
+	}
+}
+
+// onUpdate is the server's hook: an insert or remove was applied to a
+// class this machine replicates; run the policy decay and execute a Leave
+// decision. Called from the vsync delivery path, so membership changes are
+// deferred to the action worker.
+func (m *Machine) onUpdate(cls class.ID) {
+	m.polMu.Lock()
+	p := m.policyFor(cls)
+	d := p.Update(true)
+	trigger := d == adaptive.Leave && !m.basic[cls] && !m.moving[cls]
+	if trigger {
+		m.moving[cls] = true
+	}
+	m.polMu.Unlock()
+	if trigger {
+		m.enqueueMove(cls, func() { m.doLeave(cls) })
+	}
+}
+
+// enqueueMove hands a membership change to the action worker. It must
+// never block: callers may be on the vsync event loop, and the worker may
+// itself be waiting on that loop. A full queue drops the action and clears
+// the in-flight flag — the next policy event simply re-triggers it.
+func (m *Machine) enqueueMove(cls class.ID, f func()) {
+	select {
+	case m.actions <- f:
+	case <-m.stopped:
+		m.clearMoving(cls)
+	default:
+		m.clearMoving(cls)
+	}
+}
+
+func (m *Machine) doJoin(cls class.ID) {
+	defer m.clearMoving(cls)
+	if err := m.node.Join(wgName(cls)); err != nil {
+		return
+	}
+	// Joining costs K time units (state copy, §5.1): account ℓ work.
+	l := float64(maxInt(m.srv.classLen(cls), 1))
+	m.ops.add(OpJoin, m.cfg.Model.Msg(m.srv.classLen(cls)*32), l, l, false)
+}
+
+func (m *Machine) doLeave(cls class.ID) {
+	defer m.clearMoving(cls)
+	// Re-check: a racing read may have re-raised the counter; the policy
+	// said Leave at decision time, which the competitive analysis permits
+	// to execute (events are serialized there). Here we just execute.
+	if !m.node.Member(wgName(cls)) {
+		return
+	}
+	if err := m.node.Leave(wgName(cls)); err != nil {
+		return
+	}
+	m.ops.add(OpLeave, 0, 0, 0, false)
+}
+
+func (m *Machine) clearMoving(cls class.ID) {
+	m.polMu.Lock()
+	defer m.polMu.Unlock()
+	delete(m.moving, cls)
+}
+
+// MakeBasic promotes this machine to basic support for a class (§5.2
+// support maintenance): it joins the class's write group — and read group
+// when read groups are enabled — receiving a state transfer, and marks the
+// class basic so the adaptive policy can never leave it. Blocking; called
+// by the cluster's support-selection path.
+func (m *Machine) MakeBasic(cls class.ID) error {
+	m.polMu.Lock()
+	m.basic[cls] = true
+	m.polMu.Unlock()
+	if err := m.node.Join(wgName(cls)); err != nil {
+		return fmt.Errorf("machine %d: promote to B(%s): %w", m.id, cls, err)
+	}
+	if m.cfg.UseReadGroups {
+		if err := m.node.Join(rgName(cls)); err != nil {
+			return fmt.Errorf("machine %d: promote to rg(%s): %w", m.id, cls, err)
+		}
+	}
+	l := float64(maxInt(m.srv.classLen(cls), 1))
+	m.ops.add(OpJoin, m.cfg.Model.Msg(m.srv.classLen(cls)*32), l, l, false)
+	return nil
+}
+
+// PolicyCounter exposes the class's adaptive counter (tests, ablations).
+func (m *Machine) PolicyCounter(cls class.ID) int {
+	m.polMu.Lock()
+	defer m.polMu.Unlock()
+	return m.policyFor(cls).Counter()
+}
+
+// --- marker wakeups ---
+
+// notifyReader pings a remote machine whose marker fired.
+func (m *Machine) notifyReader(to transport.NodeID) {
+	_ = m.node.SendApp(to, []byte{1})
+}
+
+// wake releases every goroutine blocked in waitWake.
+func (m *Machine) wake() {
+	m.wakeMu.Lock()
+	defer m.wakeMu.Unlock()
+	close(m.wakeCh)
+	m.wakeCh = make(chan struct{})
+}
+
+// wakeChan returns the current wakeup barrier channel.
+func (m *Machine) wakeChan() <-chan struct{} {
+	m.wakeMu.Lock()
+	defer m.wakeMu.Unlock()
+	return m.wakeCh
+}
+
+func (m *Machine) isDown() bool {
+	select {
+	case <-m.stopped:
+		return true
+	default:
+		return false
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

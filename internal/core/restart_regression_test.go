@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"paso/internal/class"
+	"paso/internal/storage"
+	"paso/internal/transport"
+	"paso/internal/tuple"
+)
+
+// TestRestartedMachineRequestsNotSwallowed is a regression test for a
+// duplicate-suppression bug: a restarted node's vsync request counter used
+// to restart from 1, colliding with its previous incarnation's request IDs
+// still present in surviving members' dedup caches — so the restarted
+// machine's first inserts were silently dropped as "duplicates" while
+// still acknowledged as successful.
+func TestRestartedMachineRequestsNotSwallowed(t *testing.T) {
+	cfg := Config{
+		Classifier:    class.NewNameArity([]string{"record"}, 8),
+		Lambda:        2,
+		StoreKind:     storage.KindHash,
+		UseReadGroups: true,
+	}
+	c, err := NewCluster(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	tpl := tuple.NewTemplate(tuple.Eq(tuple.String("record")), tuple.Any(tuple.KindInt))
+	// Pre-crash traffic populates the dedup caches with machine 1's and
+	// machine 2's request IDs.
+	for i := 0; i < 100; i++ {
+		m := c.Machine(transport.NodeID(i%5 + 1))
+		if _, err := m.Insert(tuple.Make(tuple.String("record"), tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Crash(1)
+	c.Crash(2)
+	m3 := c.Machine(3)
+	for i := 0; i < 100; i++ {
+		if _, ok, err := m3.ReadDel(tpl); !ok || err != nil {
+			t.Fatalf("take %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := c.Machine(1), c.Machine(2)
+	if _, err := m1.Insert(tuple.Make(tuple.String("record"), tuple.Int(999))); err != nil {
+		t.Fatal(err)
+	}
+	exact := tuple.NewTemplate(tuple.Eq(tuple.String("record")), tuple.Eq(tuple.Int(999)))
+	for id, m := range map[int]*Machine{1: m1, 2: m2, 3: m3} {
+		if _, ok, err := m.Read(exact); !ok || err != nil {
+			t.Errorf("machine %d cannot see the restarted machine's insert: ok=%v err=%v", id, ok, err)
+		}
+	}
+	// Every write-group replica must hold the object (no divergence).
+	for _, m := range c.Machines() {
+		if m.MemberOf("record/2") && m.ClassLen("record/2") != 1 {
+			t.Errorf("replica on %d has %d objects, want 1", m.ID(), m.ClassLen("record/2"))
+		}
+	}
+}

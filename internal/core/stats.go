@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OpKind labels PASO operations for cost accounting (Figure 1's rows).
+type OpKind int
+
+// Operation kinds.
+const (
+	// OpInsert is insert(o).
+	OpInsert OpKind = iota + 1
+	// OpReadLocal is a read(sc) served from the local replica (M ∈ wg(C)).
+	OpReadLocal
+	// OpReadRemote is a read(sc) served by gcast (M ∉ wg(C)).
+	OpReadRemote
+	// OpReadDel is read&del(sc).
+	OpReadDel
+	// OpJoin is a g-join triggered by the adaptive policy or recovery.
+	OpJoin
+	// OpLeave is a policy-triggered g-leave.
+	OpLeave
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpReadLocal:
+		return "read-local"
+	case OpReadRemote:
+		return "read-remote"
+	case OpReadDel:
+		return "read&del"
+	case OpJoin:
+		return "g-join"
+	case OpLeave:
+		return "g-leave"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// OpStats aggregates the paper's three cost measures for one operation
+// kind on one machine.
+type OpStats struct {
+	Count   int
+	MsgCost float64 // Figure 1 msg-cost under the α+β model
+	Work    float64 // summed server work (probe units × replicas)
+	Time    float64 // critical-path units (one server's probes + transit)
+	Fails   int
+}
+
+// add merges a single operation's costs.
+func (s *OpStats) add(msg, work, tm float64, fail bool) {
+	s.Count++
+	s.MsgCost += msg
+	s.Work += work
+	s.Time += tm
+	if fail {
+		s.Fails++
+	}
+}
+
+// opMeter is a concurrency-safe per-kind aggregator.
+type opMeter struct {
+	mu sync.Mutex
+	m  map[OpKind]*OpStats
+}
+
+func newOpMeter() *opMeter {
+	return &opMeter{m: make(map[OpKind]*OpStats)}
+}
+
+func (o *opMeter) add(kind OpKind, msg, work, tm float64, fail bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.m[kind]
+	if !ok {
+		s = &OpStats{}
+		o.m[kind] = s
+	}
+	s.add(msg, work, tm, fail)
+}
+
+// snapshot returns a copy of the aggregates.
+func (o *opMeter) snapshot() map[OpKind]OpStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[OpKind]OpStats, len(o.m))
+	for k, v := range o.m {
+		out[k] = *v
+	}
+	return out
+}

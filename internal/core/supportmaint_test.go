@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"paso/internal/class"
+	"paso/internal/storage"
+	"paso/internal/support"
+	"paso/internal/transport"
+	"paso/internal/tuple"
+)
+
+func maintCluster(t *testing.T, sel support.Selector) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Classifier:      class.NewNameArity([]string{"item"}, 3),
+		Lambda:          1,
+		StoreKind:       storage.KindHash,
+		SupportSelector: sel,
+	}
+	c, err := NewCluster(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func itemTpl() tuple.Template {
+	return tuple.NewTemplate(tuple.Eq(tuple.String("item")), tuple.Any(tuple.KindInt))
+}
+
+func TestSupportMaintenanceReplacesCrashedMember(t *testing.T) {
+	c := maintCluster(t, &support.LRF{})
+	supBefore := c.Support("item/2")
+	if _, err := c.Machine(supBefore[0]).Insert(tuple.Make(tuple.String("item"), tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	victim := supBefore[0]
+	c.Crash(victim)
+	supAfter := c.Support("item/2")
+	if len(supAfter) != 2 {
+		t.Fatalf("support size = %d, want λ+1 = 2", len(supAfter))
+	}
+	for _, id := range supAfter {
+		if id == victim {
+			t.Fatalf("crashed machine %d still in support %v", victim, supAfter)
+		}
+		m := c.Machine(id)
+		if m == nil {
+			t.Fatalf("support machine %d is not live", id)
+		}
+		if !m.MemberOf("item/2") {
+			t.Fatalf("support machine %d not in write group", id)
+		}
+		if !m.IsBasic("item/2") {
+			t.Fatalf("replacement %d not marked basic", id)
+		}
+		// The replacement must hold the data (state transfer happened).
+		if m.ClassLen("item/2") != 1 {
+			t.Fatalf("replacement %d has %d objects, want 1", id, m.ClassLen("item/2"))
+		}
+	}
+	if c.Replacements() < 1 {
+		t.Fatal("no replacement recorded")
+	}
+	if err := c.CheckFaultTolerance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupportMaintenanceSurvivesCascade(t *testing.T) {
+	// With dynamic replacement, MORE than λ sequential crashes are
+	// survivable as long as they are spaced: each crash is repaired
+	// before the next. This is the §5.2 payoff beyond the static λ.
+	c := maintCluster(t, &support.LRF{})
+	if _, err := c.Machine(1).Insert(tuple.Make(tuple.String("item"), tuple.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	// Crash three different machines one after another (λ=1!).
+	crashed := 0
+	for _, id := range []transport.NodeID{1, 2, 3} {
+		if c.Machine(id) == nil {
+			continue
+		}
+		c.Crash(id)
+		crashed++
+		if err := c.CheckFaultTolerance(); err != nil {
+			t.Fatalf("after crash %d of machine %d: %v", crashed, id, err)
+		}
+	}
+	if crashed < 3 {
+		t.Fatalf("only crashed %d machines", crashed)
+	}
+	// The object survived all three crashes.
+	var survivor *Machine
+	for _, m := range c.Machines() {
+		survivor = m
+		break
+	}
+	got, ok, err := survivor.Read(itemTpl())
+	if err != nil || !ok {
+		t.Fatalf("read after cascade: ok=%v err=%v", ok, err)
+	}
+	if got.Field(1).MustInt() != 7 {
+		t.Fatalf("wrong object %v", got)
+	}
+}
+
+func TestSupportMaintenanceLRFAvoidsFlaky(t *testing.T) {
+	// Machine 5 crashes and restarts repeatedly; when a support machine
+	// fails, LRF must prefer a machine that has not failed recently over
+	// the chronically flaky one.
+	c := maintCluster(t, &support.LRF{})
+	for i := 0; i < 3; i++ {
+		c.Crash(5)
+		if err := c.Restart(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup := c.Support("item/2")
+	victim := sup[0]
+	c.Crash(victim)
+	supAfter := c.Support("item/2")
+	for _, id := range supAfter {
+		if id == 5 {
+			t.Fatalf("LRF picked the flaky machine 5: %v", supAfter)
+		}
+	}
+}
+
+func TestSupportMaintenanceExhaustion(t *testing.T) {
+	// Crash machines until no replacements remain; the cluster must
+	// degrade gracefully (slots stay empty) rather than wedge.
+	c := maintCluster(t, &support.LRF{})
+	for id := transport.NodeID(1); id <= 4; id++ {
+		c.Crash(id)
+	}
+	// One machine left: every class it can serve has exactly one replica.
+	if len(c.Machines()) != 1 {
+		t.Fatalf("machines left = %d", len(c.Machines()))
+	}
+	m := c.Machines()[0]
+	if _, err := m.Insert(tuple.Make(tuple.String("item"), tuple.Int(1))); err != nil {
+		t.Fatalf("single survivor cannot serve: %v", err)
+	}
+}
+
+func TestStaticSupportNoReplacement(t *testing.T) {
+	// Without a selector the old behaviour holds: the slot stays empty.
+	cfg := Config{
+		Classifier: class.NewNameArity([]string{"item"}, 3),
+		Lambda:     1,
+		StoreKind:  storage.KindHash,
+	}
+	c, err := NewCluster(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	sup := c.Support("item/2")
+	c.Crash(sup[0])
+	after := c.Support("item/2")
+	if after[0] != sup[0] || after[1] != sup[1] {
+		t.Fatalf("static support changed: %v → %v", sup, after)
+	}
+	if c.Replacements() != 0 {
+		t.Fatal("static cluster recorded replacements")
+	}
+}

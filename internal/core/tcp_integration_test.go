@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"paso/internal/class"
+	"paso/internal/storage"
+	"paso/internal/transport"
+	"paso/internal/transport/tcp"
+	"paso/internal/tuple"
+)
+
+// TestMachinesOverTCP runs three standalone machines over the real TCP
+// transport — the cmd/pasod deployment shape — and exercises insert, read,
+// read&del, and crash recovery end to end.
+func TestMachinesOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration is slow; skipped in -short mode")
+	}
+	// The failure detector's timeout must comfortably exceed worst-case
+	// goroutine scheduling delays (the race detector adds plenty), or a
+	// blip makes a node transiently believe it is alone.
+	opts := tcp.Options{
+		HeartbeatInterval: 10 * time.Millisecond,
+		FailTimeout:       250 * time.Millisecond,
+	}
+	cfg := Config{
+		Classifier: class.NewNameArity([]string{"job"}, 3),
+		Lambda:     1,
+		StoreKind:  storage.KindHash,
+	}
+	// Machines 1 and 2 are basic support for every class.
+	var basics []class.ID
+	basics = append(basics, cfg.Classifier.Classes()...)
+
+	eps := make(map[transport.NodeID]*tcp.Endpoint, 3)
+	for i := transport.NodeID(1); i <= 3; i++ {
+		ep, err := tcp.Listen(i, "127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	for id, ep := range eps {
+		for pid, pep := range eps {
+			if pid != id {
+				ep.AddPeer(pid, pep.Addr())
+			}
+		}
+	}
+	// Let the failure detectors converge before joining groups.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(eps[1].Alive()) == 3 && len(eps[2].Alive()) == 3 && len(eps[3].Alive()) == 3 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Machines start concurrently, as separate pasod processes would:
+	// StartMachine blocks in the init phase until the group coordinator
+	// has heard from every live node, so sequential starts of co-hosted
+	// machines would deadlock each other.
+	machines := make(map[transport.NodeID]*Machine, 3)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := transport.NodeID(1); i <= 3; i++ {
+		wg.Add(1)
+		go func(i transport.NodeID) {
+			defer wg.Done()
+			var b []class.ID
+			if i <= 2 {
+				b = basics
+			}
+			m, err := StartMachine(eps[i], cfg, b, 1)
+			if err != nil {
+				t.Errorf("machine %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			machines[i] = m
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if len(machines) != 3 {
+		t.Fatal("not all machines started")
+	}
+	defer func() {
+		for _, m := range machines {
+			m.Stop()
+		}
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+
+	tpl := tuple.NewTemplate(tuple.Eq(tuple.String("job")), tuple.Any(tuple.KindInt))
+	if _, err := machines[3].Insert(tuple.Make(tuple.String("job"), tuple.Int(7))); err != nil {
+		t.Fatalf("insert over tcp: %v", err)
+	}
+	got, ok, err := machines[1].Read(tpl)
+	if err != nil || !ok {
+		t.Fatalf("read over tcp: %v ok=%v", err, ok)
+	}
+	if got.Field(1).MustInt() != 7 {
+		t.Fatalf("read %v", got)
+	}
+	taken, ok, err := machines[2].ReadDel(tpl)
+	if err != nil || !ok {
+		t.Fatalf("read&del over tcp: %v ok=%v", err, ok)
+	}
+	if taken.ID() != got.ID() {
+		t.Fatal("read&del removed a different object")
+	}
+	if _, ok, _ := machines[3].Read(tpl); ok {
+		t.Fatal("object still visible after removal")
+	}
+
+	// Crash machine 2 (a replica) and verify the data written before the
+	// crash survives on machine 1.
+	if _, err := machines[3].Insert(tuple.Make(tuple.String("job"), tuple.Int(8))); err != nil {
+		t.Fatal(err)
+	}
+	machines[2].Stop()
+	eps[2].Close()
+	delete(machines, 2)
+	delete(eps, 2)
+	// Give detectors time to evict the dead node.
+	time.Sleep(3 * opts.FailTimeout)
+	got, ok, err = machines[3].Read(tpl)
+	if err != nil || !ok {
+		t.Fatalf("read after replica crash: %v ok=%v", err, ok)
+	}
+	if got.Field(1).MustInt() != 8 {
+		t.Fatalf("read %v after crash", got)
+	}
+}

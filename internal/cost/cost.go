@@ -1,0 +1,145 @@
+// Package cost implements the paper's communication-cost model (§3.3) and
+// the three cost measures attached to PASO primitives (§4.3): msg-cost,
+// time, and work.
+//
+// Transmitting a message msg costs msg-cost(msg) = α + β·|msg|. There is no
+// hardware multicast, so gcast(g, msg, resp) costs
+//
+//	|g|·(α + β|msg|)  +  |g|·α  +  α + β|resp|
+//	  sends to members   empty acks  one gathered response
+//	≈ |g|·(2α + β(|msg| + |resp|)).
+package cost
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Model holds the α and β constants of the LAN cost model. Costs are in
+// abstract cost units (the paper never fixes a unit; on a 1994 Ethernet α
+// would be ~1ms of bus occupancy and β ~1µs/byte).
+type Model struct {
+	// Alpha is the per-message startup cost.
+	Alpha float64
+	// Beta is the per-byte cost.
+	Beta float64
+}
+
+// DefaultModel uses α=100, β=1: a startup cost worth 100 payload bytes,
+// roughly an Ethernet frame header plus kernel entry on the paper's
+// hardware.
+func DefaultModel() Model { return Model{Alpha: 100, Beta: 1} }
+
+// Msg returns the cost of one point-to-point message of the given size.
+func (m Model) Msg(size int) float64 {
+	return m.Alpha + m.Beta*float64(size)
+}
+
+// Gcast returns the cost of a gcast to groupSize members carrying msgSize
+// request bytes and returning one response of respSize bytes, following the
+// §3.3 derivation exactly: groupSize sends + groupSize empty completion
+// acks + one response.
+func (m Model) Gcast(groupSize, msgSize, respSize int) float64 {
+	g := float64(groupSize)
+	return g*m.Msg(msgSize) + g*m.Alpha + m.Msg(respSize)
+}
+
+// GcastApprox returns the paper's approximation |g|(2α + β(|msg|+|resp|)).
+func (m Model) GcastApprox(groupSize, msgSize, respSize int) float64 {
+	return float64(groupSize) * (2*m.Alpha + m.Beta*float64(msgSize+respSize))
+}
+
+// Insert returns the closed-form Figure 1 msg-cost of insert(o):
+// g(2α+β|o|) + α. The trailing α is the issuing process's completion
+// notification; inserts expect no response payload.
+func (m Model) Insert(groupSize, objSize int) float64 {
+	return float64(groupSize)*(2*m.Alpha+m.Beta*float64(objSize)) + m.Alpha
+}
+
+// RemoteRead returns the closed-form Figure 1 msg-cost of a read or
+// read&del served by gcast: g(2α+β(|sc|+|r|)) + α.
+func (m Model) RemoteRead(groupSize, scSize, respSize int) float64 {
+	return float64(groupSize)*(2*m.Alpha+m.Beta*float64(scSize+respSize)) + m.Alpha
+}
+
+// Counter accumulates the three cost measures for a component. It is safe
+// for concurrent use.
+type Counter struct {
+	mu       sync.Mutex
+	msgCost  float64
+	workCost float64
+	timeCost float64
+	messages int
+	bytes    int
+}
+
+// AddMsg records one point-to-point message of the given size under the
+// model.
+func (c *Counter) AddMsg(m Model, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgCost += m.Msg(size)
+	c.messages++
+	c.bytes += size
+}
+
+// AddWork records processing work (server-side time units).
+func (c *Counter) AddWork(units float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workCost += units
+}
+
+// AddTime records elapsed critical-path time units.
+func (c *Counter) AddTime(units float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeCost += units
+}
+
+// Snapshot returns the accumulated totals.
+func (c *Counter) Snapshot() Totals {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Totals{
+		MsgCost:  c.msgCost,
+		Work:     c.workCost,
+		Time:     c.timeCost,
+		Messages: c.messages,
+		Bytes:    c.bytes,
+	}
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgCost, c.workCost, c.timeCost = 0, 0, 0
+	c.messages, c.bytes = 0, 0
+}
+
+// Totals is a snapshot of a Counter.
+type Totals struct {
+	MsgCost  float64
+	Work     float64
+	Time     float64
+	Messages int
+	Bytes    int
+}
+
+// Add returns the sum of two totals.
+func (t Totals) Add(o Totals) Totals {
+	return Totals{
+		MsgCost:  t.MsgCost + o.MsgCost,
+		Work:     t.Work + o.Work,
+		Time:     t.Time + o.Time,
+		Messages: t.Messages + o.Messages,
+		Bytes:    t.Bytes + o.Bytes,
+	}
+}
+
+// String renders the totals compactly.
+func (t Totals) String() string {
+	return fmt.Sprintf("msg-cost=%.1f work=%.1f time=%.1f msgs=%d bytes=%d",
+		t.MsgCost, t.Work, t.Time, t.Messages, t.Bytes)
+}

@@ -1,0 +1,120 @@
+package cost
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMsgCost(t *testing.T) {
+	m := Model{Alpha: 10, Beta: 2}
+	if got := m.Msg(5); got != 20 {
+		t.Errorf("Msg(5) = %v, want 20", got)
+	}
+	if got := m.Msg(0); got != 10 {
+		t.Errorf("Msg(0) = %v, want alpha", got)
+	}
+}
+
+func TestGcastMatchesDerivation(t *testing.T) {
+	m := Model{Alpha: 10, Beta: 1}
+	// |g|(α+β|msg|) + |g|α + α + β|resp|
+	g, msg, resp := 4, 30, 8
+	want := 4.0*(10+30) + 4.0*10 + 10 + 8
+	if got := m.Gcast(g, msg, resp); got != want {
+		t.Errorf("Gcast = %v, want %v", got, want)
+	}
+}
+
+func TestGcastApproxClose(t *testing.T) {
+	m := DefaultModel()
+	f := func(g8 uint8, msg16, resp16 uint16) bool {
+		g := int(g8%32) + 1
+		exact := m.Gcast(g, int(msg16), int(resp16))
+		approx := m.GcastApprox(g, int(msg16), int(resp16))
+		// The paper's ≈ charges the single response once per member; the
+		// exact algebraic difference is β·|resp|·(g−1) − α.
+		wantDiff := m.Beta*float64(resp16)*float64(g-1) - m.Alpha
+		return math.Abs((approx-exact)-wantDiff) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigure1ClosedForms(t *testing.T) {
+	m := Model{Alpha: 100, Beta: 1}
+	// insert: g(2α+β|o|)+α
+	if got, want := m.Insert(3, 50), 3.0*(200+50)+100; got != want {
+		t.Errorf("Insert = %v, want %v", got, want)
+	}
+	// remote read: g(2α+β(|sc|+|r|))+α
+	if got, want := m.RemoteRead(3, 20, 50), 3.0*(200+70)+100; got != want {
+		t.Errorf("RemoteRead = %v, want %v", got, want)
+	}
+}
+
+func TestCostsScaleWithGroupSize(t *testing.T) {
+	m := DefaultModel()
+	prev := 0.0
+	for g := 1; g <= 16; g++ {
+		c := m.Insert(g, 100)
+		if c <= prev {
+			t.Fatalf("Insert cost not increasing at g=%d", g)
+		}
+		prev = c
+	}
+}
+
+func TestCounterAccumulates(t *testing.T) {
+	var c Counter
+	m := Model{Alpha: 1, Beta: 1}
+	c.AddMsg(m, 9)
+	c.AddMsg(m, 0)
+	c.AddWork(3)
+	c.AddTime(2)
+	got := c.Snapshot()
+	if got.MsgCost != 11 || got.Messages != 2 || got.Bytes != 9 {
+		t.Errorf("totals = %+v", got)
+	}
+	if got.Work != 3 || got.Time != 2 {
+		t.Errorf("work/time = %+v", got)
+	}
+	c.Reset()
+	if got := c.Snapshot(); got.MsgCost != 0 || got.Messages != 0 {
+		t.Errorf("after reset: %+v", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	m := Model{Alpha: 1, Beta: 0}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.AddMsg(m, 1)
+				c.AddWork(1)
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.Snapshot()
+	if got.Messages != 800 || got.Work != 800 {
+		t.Errorf("totals = %+v", got)
+	}
+}
+
+func TestTotalsAddAndString(t *testing.T) {
+	a := Totals{MsgCost: 1, Work: 2, Time: 3, Messages: 4, Bytes: 5}
+	b := a.Add(a)
+	if b.MsgCost != 2 || b.Work != 4 || b.Time != 6 || b.Messages != 8 || b.Bytes != 10 {
+		t.Errorf("Add = %+v", b)
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}

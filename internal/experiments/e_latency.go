@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"paso/internal/adaptive"
+	"paso/internal/class"
+	"paso/internal/core"
+	"paso/internal/cost"
+	"paso/internal/stats"
+	"paso/internal/storage"
+	"paso/internal/tuple"
+)
+
+// E14ResponseTime measures the paper's third cost measure — response time
+// — which §5 explicitly leaves open ("It remains an open problem to design
+// a system with guaranteed good behavior in all three cost measures").
+// There is no theorem to check; the experiment characterizes what the
+// work-optimizing policies do to operation latency on the live runtime:
+// adaptive replication turns slow remote reads into fast local ones, while
+// full replication inflates insert/take latency (more replicas to ack).
+func E14ResponseTime() *stats.Table {
+	t := stats.NewTable("E14", "response time (open problem in §5): operation latency by policy",
+		"policy", "op", "count", "p50", "p90", "p99")
+	type policyCase struct {
+		name string
+		f    func(class.ID) adaptive.Policy
+	}
+	for _, pc := range []policyCase{
+		{"static", nil},
+		{"basic(K=8)", func(class.ID) adaptive.Policy {
+			p, _ := adaptive.NewBasic(8)
+			return p
+		}},
+		{"full", func(class.ID) adaptive.Policy { return &adaptive.FullReplication{} }},
+	} {
+		cfg := core.Config{
+			Classifier:    class.NewNameArity([]string{"obj"}, 4),
+			Lambda:        1,
+			Model:         cost.DefaultModel(),
+			StoreKind:     storage.KindHash,
+			UseReadGroups: true,
+			NewPolicy:     pc.f,
+		}
+		c, err := core.NewCluster(cfg, 6)
+		if err != nil {
+			t.AddNote("%v", err)
+			continue
+		}
+		writer := c.Machine(1)
+		var reader *core.Machine
+		for _, m := range c.Machines() {
+			if !m.IsBasic("obj/2") {
+				reader = m
+				break
+			}
+		}
+		if _, err := writer.Insert(tuple.Make(tuple.String("obj"), tuple.Int(0))); err != nil {
+			t.AddNote("%v", err)
+		}
+		tpl := tuple.NewTemplate(tuple.Eq(tuple.String("obj")), tuple.Any(tuple.KindInt))
+
+		var readLat, insLat []float64
+		const rounds = 200
+		for i := 0; i < rounds; i++ {
+			begin := time.Now()
+			if _, ok, err := reader.Read(tpl); !ok || err != nil {
+				t.AddNote("read: ok=%v err=%v", ok, err)
+				break
+			}
+			readLat = append(readLat, us(time.Since(begin)))
+			if i%10 == 0 {
+				begin = time.Now()
+				if _, err := writer.Insert(tuple.Make(tuple.String("obj"), tuple.Int(int64(i+1)))); err != nil {
+					t.AddNote("insert: %v", err)
+					break
+				}
+				insLat = append(insLat, us(time.Since(begin)))
+			}
+		}
+		for _, row := range []struct {
+			op   string
+			data []float64
+		}{{"read", readLat}, {"insert", insLat}} {
+			sum := stats.Summarize(row.data)
+			t.AddRow(pc.name, row.op, stats.D(sum.N),
+				usStr(sum.P50), usStr(sum.P90), usStr(sum.P99))
+		}
+		c.Shutdown()
+	}
+	t.AddNote("wall-clock on the in-process runtime: relative shapes (local ≪ remote; more replicas → slower writes) are the signal")
+	return t
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func usStr(v float64) string { return fmt.Sprintf("%.0fµs", v) }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"paso/internal/adaptive"
+	"paso/internal/class"
+	"paso/internal/core"
+	"paso/internal/cost"
+	"paso/internal/stats"
+	"paso/internal/storage"
+	"paso/internal/transport"
+	"paso/internal/tuple"
+)
+
+// E15Scalability sweeps the ensemble size n at fixed λ. The §3.3/§4.3
+// model predicts PASO's headline property: per-operation msg-cost depends
+// on the REPLICATION degree (g = λ+1), not on n — inserts and read&dels
+// stay flat as the ensemble grows. The contrast column replicates
+// everywhere (g = n under full replication), whose update cost grows
+// linearly with n.
+func E15Scalability() *stats.Table {
+	t := stats.NewTable("E15", "scalability: per-op msg-cost vs ensemble size n",
+		"n", "lambda", "insert/op (λ+1 repl)", "take/op (λ+1 repl)", "insert/op (full repl)")
+	const lambda = 1
+	const ops = 30
+	for _, n := range []int{4, 8, 16, 32} {
+		static := perOpCosts(t, n, lambda, nil, ops)
+		full := perOpCosts(t, n, lambda,
+			func(class.ID) adaptive.Policy { return &adaptive.FullReplication{} }, ops)
+		t.AddRow(stats.D(n), stats.D(lambda),
+			stats.F(static[0]), stats.F(static[1]), stats.F(full[0]))
+	}
+	t.AddNote("λ+1-replicated costs are flat in n (the paper's scalability claim); full replication grows ~linearly")
+	return t
+}
+
+// perOpCosts runs the fixed workload on an n-machine cluster and returns
+// {insert msg-cost/op, readdel msg-cost/op}. With the full-replication
+// policy, every machine first touches the class so the write group spans
+// the ensemble.
+func perOpCosts(t *stats.Table, n, lambda int, pol func(class.ID) adaptive.Policy, ops int) [2]float64 {
+	cfg := core.Config{
+		Classifier:    class.NewNameArity([]string{"obj"}, 3),
+		Lambda:        lambda,
+		Model:         cost.DefaultModel(),
+		StoreKind:     storage.KindHash,
+		UseReadGroups: true,
+		NewPolicy:     pol,
+	}
+	c, err := core.NewCluster(cfg, n)
+	if err != nil {
+		t.AddNote("n=%d: %v", n, err)
+		return [2]float64{}
+	}
+	defer c.Shutdown()
+	seed := c.Machine(1)
+	if _, err := seed.Insert(tuple.Make(tuple.String("obj"), tuple.Int(-1))); err != nil {
+		t.AddNote("%v", err)
+		return [2]float64{}
+	}
+	tplAll := tuple.NewTemplate(tuple.Eq(tuple.String("obj")), tuple.Any(tuple.KindInt))
+	if pol != nil {
+		// Inflate the write group: every machine reads the class once.
+		for _, m := range c.Machines() {
+			_, _, _ = m.Read(tplAll)
+			_, _, _ = m.Read(tplAll) // FullReplication joins on first read
+		}
+		// Wait until the write group actually spans most machines.
+		deadlineSpins := 1000
+		for spins := 0; spins < deadlineSpins; spins++ {
+			members := 0
+			for _, m := range c.Machines() {
+				if m.MemberOf("obj/2") {
+					members++
+				}
+			}
+			if members >= n-1 {
+				break
+			}
+		}
+	}
+	issuer := c.Machine(transport.NodeID(n))
+	for i := 0; i < ops; i++ {
+		if _, err := issuer.Insert(tuple.Make(tuple.String("obj"), tuple.Int(int64(i)))); err != nil {
+			t.AddNote("insert: %v", err)
+			break
+		}
+	}
+	for i := 0; i < ops; i++ {
+		tpl := tuple.NewTemplate(tuple.Eq(tuple.String("obj")), tuple.Eq(tuple.Int(int64(i))))
+		if _, ok, err := issuer.ReadDel(tpl); !ok || err != nil {
+			t.AddNote("take: ok=%v err=%v", ok, err)
+			break
+		}
+	}
+	st := issuer.Stats()
+	ins, take := st[core.OpInsert], st[core.OpReadDel]
+	var out [2]float64
+	if ins.Count > 0 {
+		out[0] = ins.MsgCost / float64(ins.Count)
+	}
+	if take.Count > 0 {
+		out[1] = take.MsgCost / float64(take.Count)
+	}
+	return out
+}

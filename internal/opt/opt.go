@@ -1,0 +1,164 @@
+// Package opt implements the competitive-analysis side of §5: an exact
+// offline optimum for the per-machine replication problem, a driver that
+// runs any adaptive.Policy over an event sequence under the same cost
+// model, and a potential-function diagnostic for the Theorem 2 proof.
+//
+// The model follows §5.1. Fix an object class C and a machine M ∉ B(C).
+// Events observed at M are reads (a process on M reads C) and updates (an
+// insert or read&del to C). Costs, normalized to the most expensive basic
+// operation:
+//
+//   - member read: q (the local query cost; q=1 for hash tables)
+//   - non-member read: q·r where r = |rg(C)| = λ+1−|F| is the work imposed
+//     on the read group
+//   - member update: 1 (the local insert/delete work)
+//   - non-member update: 0
+//   - joining wg(C): K (copying the class state)
+//   - leaving: 0
+//
+// Because costs decompose per machine, an exact optimum is a two-state
+// dynamic program over the sequence (in/out of the write group), including
+// time-varying K for the doubling/halving analysis of Theorem 3.
+package opt
+
+import "fmt"
+
+// EventKind distinguishes reads from updates.
+type EventKind int
+
+// Event kinds.
+const (
+	// Read is a read issued by a process on the machine under analysis.
+	Read EventKind = iota + 1
+	// Update is an insert or read&del applied to the class.
+	Update
+)
+
+// Event is one step of a request sequence σ.
+type Event struct {
+	Kind EventKind
+	// RgSize is λ+1−|F| at this event (how many servers a non-member read
+	// occupies). Values < 1 are treated as 1.
+	RgSize int
+	// JoinCost is K at this event (join cost in work units). Values < 1
+	// are treated as 1. Varies over time only in Theorem 3 scenarios.
+	JoinCost int
+	// QCost is the query cost q. Values < 1 are treated as 1.
+	QCost int
+}
+
+// normalized returns the event with defaulted fields.
+func (e Event) Normalized() Event {
+	if e.RgSize < 1 {
+		e.RgSize = 1
+	}
+	if e.JoinCost < 1 {
+		e.JoinCost = 1
+	}
+	if e.QCost < 1 {
+		e.QCost = 1
+	}
+	return e
+}
+
+// costIn is the event's cost to a write-group member.
+func (e Event) CostIn() float64 {
+	if e.Kind == Read {
+		return float64(e.QCost)
+	}
+	return 1
+}
+
+// costOut is the event's cost to a non-member.
+func (e Event) CostOut() float64 {
+	if e.Kind == Read {
+		return float64(e.QCost * e.RgSize)
+	}
+	return 0
+}
+
+// Schedule is an offline algorithm's membership decision per event:
+// member[i] is whether the machine is in wg(C) while serving event i.
+type Schedule struct {
+	Member []bool
+	Cost   float64
+	Joins  int
+}
+
+// Optimal computes OPT(σ) exactly and returns its cost and schedule. The
+// machine starts outside the write group; the first join, if any, pays K.
+func Optimal(events []Event) Schedule {
+	n := len(events)
+	if n == 0 {
+		return Schedule{}
+	}
+	const inf = 1e18
+	// costs[s] = best cost ending in state s after the prefix.
+	// choice[i][s] = previous state on the best path into state s at i.
+	costIn, costOut := inf, 0.0
+	choice := make([][2]int8, n) // [stateIn, stateOut] → prev state (0=in,1=out)
+	for i, raw := range events {
+		e := raw.Normalized()
+		k := float64(e.JoinCost)
+		// Enter "in": stay in, or join from out paying K.
+		nextIn, prevForIn := costIn, int8(0)
+		if costOut+k < nextIn {
+			nextIn, prevForIn = costOut+k, 1
+		}
+		nextIn += e.CostIn()
+		// Enter "out": stay out, or leave from in for free.
+		nextOut, prevForOut := costOut, int8(1)
+		if costIn < nextOut {
+			nextOut, prevForOut = costIn, 0
+		}
+		nextOut += e.CostOut()
+		choice[i] = [2]int8{prevForIn, prevForOut}
+		costIn, costOut = nextIn, nextOut
+	}
+	// Backtrace.
+	member := make([]bool, n)
+	state := int8(1)
+	total := costOut
+	if costIn < costOut {
+		state, total = 0, costIn
+	}
+	for i := n - 1; i >= 0; i-- {
+		member[i] = state == 0
+		state = choice[i][state]
+	}
+	joins := 0
+	prev := false
+	for _, m := range member {
+		if m && !prev {
+			joins++
+		}
+		prev = m
+	}
+	return Schedule{Member: member, Cost: total, Joins: joins}
+}
+
+// Validate recomputes a schedule's cost from first principles; it returns
+// an error if the embedded cost disagrees (a self-check used by tests).
+func Validate(events []Event, s Schedule) error {
+	if len(s.Member) != len(events) {
+		return fmt.Errorf("opt: schedule length %d != events %d", len(s.Member), len(events))
+	}
+	cost := 0.0
+	in := false
+	for i, raw := range events {
+		e := raw.Normalized()
+		if s.Member[i] && !in {
+			cost += float64(e.JoinCost)
+		}
+		in = s.Member[i]
+		if in {
+			cost += e.CostIn()
+		} else {
+			cost += e.CostOut()
+		}
+	}
+	if diff := cost - s.Cost; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("opt: schedule cost %v, recomputed %v", s.Cost, cost)
+	}
+	return nil
+}

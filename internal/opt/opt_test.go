@@ -1,0 +1,328 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"paso/internal/adaptive"
+	"paso/internal/opt"
+	"paso/internal/workload"
+)
+
+func seq(kinds ...opt.EventKind) []opt.Event {
+	out := make([]opt.Event, len(kinds))
+	for i, k := range kinds {
+		out[i] = opt.Event{Kind: k, RgSize: 2, JoinCost: 4, QCost: 1}
+	}
+	return out
+}
+
+func TestOptimalEmpty(t *testing.T) {
+	s := opt.Optimal(nil)
+	if s.Cost != 0 || len(s.Member) != 0 {
+		t.Fatalf("empty OPT = %+v", s)
+	}
+}
+
+func TestOptimalAllUpdatesStaysOut(t *testing.T) {
+	events := seq(opt.Update, opt.Update, opt.Update, opt.Update)
+	s := opt.Optimal(events)
+	if s.Cost != 0 {
+		t.Fatalf("cost = %v, want 0 (stay out)", s.Cost)
+	}
+	for i, m := range s.Member {
+		if m {
+			t.Fatalf("OPT joined at %d for updates-only sequence", i)
+		}
+	}
+	if err := opt.Validate(events, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalManyReadsJoins(t *testing.T) {
+	// 100 reads with out-cost 2 each (200) vs join (4) + 100 local reads
+	// (100) = 104: OPT must join.
+	events := make([]opt.Event, 100)
+	for i := range events {
+		events[i] = opt.Event{Kind: opt.Read, RgSize: 2, JoinCost: 4, QCost: 1}
+	}
+	s := opt.Optimal(events)
+	if s.Joins != 1 {
+		t.Fatalf("joins = %d, want 1", s.Joins)
+	}
+	if s.Cost != 104 {
+		t.Fatalf("cost = %v, want 104", s.Cost)
+	}
+	if err := opt.Validate(events, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalFewReadsStaysOut(t *testing.T) {
+	// One read costing 2 remotely vs join 4+1: stay out.
+	events := seq(opt.Read)
+	s := opt.Optimal(events)
+	if s.Cost != 2 || s.Joins != 0 {
+		t.Fatalf("OPT = %+v, want cost 2, no join", s)
+	}
+}
+
+// bruteForce enumerates all 2^n membership schedules (n small) to verify
+// the DP.
+func bruteForce(events []opt.Event) float64 {
+	n := len(events)
+	best := 1e18
+	for mask := 0; mask < 1<<n; mask++ {
+		cost := 0.0
+		in := false
+		for i, raw := range events {
+			e := raw.Normalized()
+			now := mask&(1<<i) != 0
+			if now && !in {
+				cost += float64(e.JoinCost)
+			}
+			in = now
+			if in {
+				cost += e.CostIn()
+			} else {
+				cost += e.CostOut()
+			}
+		}
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+func TestOptimalMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(12)
+		events := make([]opt.Event, n)
+		for i := range events {
+			kind := opt.Update
+			if r.Intn(2) == 0 {
+				kind = opt.Read
+			}
+			events[i] = opt.Event{
+				Kind:     kind,
+				RgSize:   1 + r.Intn(3),
+				JoinCost: 1 + r.Intn(6),
+				QCost:    1 + r.Intn(2),
+			}
+		}
+		s := opt.Optimal(events)
+		want := bruteForce(events)
+		if diff := s.Cost - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: DP = %v, brute force = %v (events %+v)", trial, s.Cost, want, events)
+		}
+		if err := opt.Validate(events, s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRunBasicNeverWorseThanTheorem2(t *testing.T) {
+	// Theorem 2: Basic is (3+λ/K)-competitive. Check over many random and
+	// adversarial sequences, for several (λ, K).
+	for _, lambda := range []int{1, 2, 3} {
+		for _, k := range []int{2, 4, 8, 16} {
+			bound := 3 + float64(lambda)/float64(k)
+			b := float64(2 * k) // additive slack for edge effects
+			sequences := [][]opt.Event{
+				workload.CounterTorture(30, lambda+1, k, 1),
+				workload.RandomMix(workload.MixParams{
+					Events: 3000, ReadFrac: 0.5, RgSize: lambda + 1, JoinCost: k, QCost: 1, Seed: 7,
+				}),
+				workload.RandomMix(workload.MixParams{
+					Events: 3000, ReadFrac: 0.9, RgSize: lambda + 1, JoinCost: k, QCost: 1, Seed: 8,
+				}),
+				workload.Phased(20, k*2, k*2, lambda+1, k, 1),
+			}
+			for si, events := range sequences {
+				p, err := adaptive.NewBasic(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := opt.Run(p, events)
+				optimum := opt.Optimal(events)
+				ratio := opt.Ratio(res.Cost, optimum.Cost, b)
+				if ratio > bound+1e-9 {
+					t.Errorf("λ=%d K=%d seq %d: ratio %.3f > bound %.3f (on=%v opt=%v)",
+						lambda, k, si, ratio, bound, res.Cost, optimum.Cost)
+				}
+			}
+		}
+	}
+}
+
+func TestCounterTortureApproachesBound(t *testing.T) {
+	// The adversarial cycle must get the measured ratio close to 3 (the
+	// dominant constant of the theorem) — demonstrating tightness, not
+	// just safety.
+	k, lambda := 16, 1
+	events := workload.CounterTorture(100, lambda+1, k, 1)
+	p, _ := adaptive.NewBasic(k)
+	res := opt.Run(p, events)
+	optimum := opt.Optimal(events)
+	ratio := opt.Ratio(res.Cost, optimum.Cost, 0)
+	if ratio < 2.0 {
+		t.Errorf("adversarial ratio %.3f too low — adversary is not forcing the bound", ratio)
+	}
+	if ratio > 3+float64(lambda)/float64(k)+0.1 {
+		t.Errorf("adversarial ratio %.3f exceeds theorem bound", ratio)
+	}
+}
+
+func TestRunQCostWithinTheoremBound(t *testing.T) {
+	// q-cost extension: 3 + 2λ/K.
+	lambda, k, q := 2, 12, 3
+	bound := 3 + 2*float64(lambda)/float64(k)
+	for _, events := range [][]opt.Event{
+		workload.CounterTorture(50, lambda+1, k, q),
+		workload.RandomMix(workload.MixParams{
+			Events: 4000, ReadFrac: 0.6, RgSize: lambda + 1, JoinCost: k, QCost: q, Seed: 3,
+		}),
+	} {
+		p, err := adaptive.NewQCost(k, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := opt.Run(p, events)
+		optimum := opt.Optimal(events)
+		ratio := opt.Ratio(res.Cost, optimum.Cost, float64(3*k))
+		if ratio > bound+1e-9 {
+			t.Errorf("qcost ratio %.3f > bound %.3f", ratio, bound)
+		}
+	}
+}
+
+func TestRunDoublingHalvingWithinTheorem3Bound(t *testing.T) {
+	// Theorem 3: 6 + 2λ/K against OPT with time-varying join cost.
+	lambda, k0 := 1, 8
+	bound := 6 + 2*float64(lambda)/float64(k0)
+	for seed := int64(0); seed < 5; seed++ {
+		events := workload.DriftingSize(workload.DriftParams{
+			Phases: 30, PerPhase: 200, ReadFrac: 0.6,
+			RgSize: lambda + 1, BaseK: k0, MaxK: 64, QCost: 1, Seed: seed,
+		})
+		p, err := adaptive.NewDoublingHalving(k0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := opt.Run(p, events)
+		optimum := opt.Optimal(events)
+		ratio := opt.Ratio(res.Cost, optimum.Cost, float64(4*64))
+		if ratio > bound+1e-9 {
+			t.Errorf("seed %d: doubling ratio %.3f > bound %.3f (on=%v opt=%v resets=%d)",
+				seed, ratio, bound, res.Cost, optimum.Cost, p.Resets())
+		}
+	}
+}
+
+func TestStaticUnboundedRatio(t *testing.T) {
+	// Static never joins: on a read-heavy sequence its ratio grows with
+	// the sequence length — the motivation for adaptation.
+	events := make([]opt.Event, 2000)
+	for i := range events {
+		events[i] = opt.Event{Kind: opt.Read, RgSize: 3, JoinCost: 4, QCost: 1}
+	}
+	res := opt.Run(adaptive.Static{}, events)
+	optimum := opt.Optimal(events)
+	ratio := opt.Ratio(res.Cost, optimum.Cost, 0)
+	if ratio < 2.5 {
+		t.Errorf("static ratio %.3f unexpectedly small", ratio)
+	}
+}
+
+func TestFullReplicationBadOnUpdateHeavy(t *testing.T) {
+	// FullReplication joins on the first read and then pays for every
+	// update; on update-heavy sequences it loses badly to OPT.
+	events := []opt.Event{{Kind: opt.Read, RgSize: 2, JoinCost: 4, QCost: 1}}
+	for i := 0; i < 2000; i++ {
+		events = append(events, opt.Event{Kind: opt.Update, RgSize: 2, JoinCost: 4, QCost: 1})
+	}
+	res := opt.Run(&adaptive.FullReplication{}, events)
+	optimum := opt.Optimal(events)
+	if res.Cost < 10*optimum.Cost {
+		t.Errorf("full replication cost %v suspiciously close to OPT %v", res.Cost, optimum.Cost)
+	}
+}
+
+func TestRunMembershipTrajectory(t *testing.T) {
+	k := 4
+	events := workload.CounterTorture(2, 2, k, 1)
+	p, _ := adaptive.NewBasic(k)
+	res := opt.Run(p, events)
+	if res.Joins != 2 || res.Leaves != 2 {
+		t.Fatalf("joins=%d leaves=%d, want 2/2 over two torture cycles", res.Joins, res.Leaves)
+	}
+	if len(res.Member) != len(events) {
+		t.Fatalf("trajectory length %d != %d", len(res.Member), len(events))
+	}
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	if r := opt.Ratio(10, 0, 20); r != 0 {
+		t.Errorf("fully-absorbed online should give 0, got %v", r)
+	}
+	if r := opt.Ratio(10, 0, 0); r != 10 {
+		t.Errorf("zero OPT floors at 1: got %v", r)
+	}
+	if r := opt.Ratio(30, 10, 0); r != 3 {
+		t.Errorf("plain ratio: got %v", r)
+	}
+}
+
+func TestCheckPotentialDiagnostics(t *testing.T) {
+	k, lambda := 8, 2
+	events := workload.CounterTorture(20, lambda+1, k, 1)
+	rep := opt.CheckPotential(k, lambda, events)
+	if rep.PhiNegative {
+		t.Error("potential went negative")
+	}
+	if rep.OnlineCost <= 0 || rep.OptCost <= 0 {
+		t.Errorf("degenerate report %+v", rep)
+	}
+	// Aggregate theorem bound must hold even when the per-event
+	// diagnostic ratio exceeds it (see the package comment).
+	bound := 3 + float64(lambda)/float64(k)
+	if opt.Ratio(rep.OnlineCost, rep.OptCost, float64(2*k)) > bound+1e-9 {
+		t.Errorf("aggregate bound violated: on=%v opt=%v", rep.OnlineCost, rep.OptCost)
+	}
+}
+
+func TestRandomizedBeatsDeterministicOnAdversary(t *testing.T) {
+	// Against the counter-torture adversary built for the DETERMINISTIC
+	// threshold, the randomized policy's expected cost is lower: the
+	// adversary can no longer turn the workload exactly at the join
+	// point. (The classic ski-rental argument, applied to §5.1.)
+	k, lambda := 16, 1
+	events := workload.CounterTorture(200, lambda+1, k, 1)
+	det, err := adaptive.NewBasic(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detCost := opt.Run(det, events).Cost
+	var randTotal float64
+	const trials = 30
+	for seed := int64(0); seed < trials; seed++ {
+		p, err := adaptive.NewRandomized(k, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randTotal += opt.Run(p, events).Cost
+	}
+	randMean := randTotal / trials
+	if randMean >= detCost {
+		t.Errorf("randomized mean %.0f not below deterministic %.0f on the adversary",
+			randMean, detCost)
+	}
+	// And it must still respect the deterministic bound (it only helps).
+	optimum := opt.Optimal(events)
+	if r := opt.Ratio(randMean, optimum.Cost, float64(2*k)); r > 3+float64(lambda)/float64(k) {
+		t.Errorf("randomized expected ratio %.3f above deterministic bound", r)
+	}
+}

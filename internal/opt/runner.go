@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"paso/internal/adaptive"
+)
+
+// RunResult is an online policy's outcome over a sequence.
+type RunResult struct {
+	Cost   float64
+	Joins  int
+	Leaves int
+	// Member is the membership trajectory (after serving each event).
+	Member []bool
+}
+
+// Run drives an adaptive policy over σ under the §5.1 cost model. The
+// machine starts outside the write group. Per the paper's counter rules, a
+// non-member read is served remotely first (cost q·r) and only then may the
+// counter trigger a join (cost K); updates are delivered only to members,
+// so the policy observes them only while in.
+func Run(p adaptive.Policy, events []Event) RunResult {
+	var res RunResult
+	in := false
+	for _, raw := range events {
+		e := raw.Normalized()
+		if ca, ok := p.(adaptive.CostAware); ok {
+			ca.ObserveJoinCost(e.JoinCost)
+		}
+		switch e.Kind {
+		case Read:
+			if in {
+				res.Cost += e.CostIn()
+				p.LocalRead(true, e.RgSize)
+			} else {
+				res.Cost += e.CostOut()
+				if p.LocalRead(false, e.RgSize) == adaptive.Join {
+					res.Cost += float64(e.JoinCost)
+					res.Joins++
+					in = true
+				}
+			}
+		case Update:
+			if in {
+				res.Cost += e.CostIn()
+				if p.Update(true) == adaptive.Leave {
+					res.Leaves++
+					in = false
+				}
+			}
+			// Non-members neither pay nor observe updates.
+		}
+		res.Member = append(res.Member, in)
+	}
+	return res
+}
+
+// Ratio computes the competitive ratio online/OPT with the additive
+// constant B subtracted: (online − b) / opt. A non-positive OPT (empty or
+// update-only sequences a non-member serves for free) yields ratio 0 when
+// online ≤ b, else +Inf is avoided by treating opt as its floor of 1.
+func Ratio(online, optCost, b float64) float64 {
+	adj := online - b
+	if adj <= 0 {
+		return 0
+	}
+	if optCost < 1 {
+		optCost = 1
+	}
+	return adj / optCost
+}

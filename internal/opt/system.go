@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"fmt"
+
+	"paso/internal/adaptive"
+)
+
+// SystemEvent is one step of a whole-system trace: a read issued by a
+// process on one machine, or an update (insert/read&del) applied to the
+// class (updates charge every current replica).
+type SystemEvent struct {
+	Kind    EventKind
+	Machine int // issuing machine for reads; ignored for updates
+}
+
+// SystemResult aggregates a whole-system run.
+type SystemResult struct {
+	// Cost is the total work: policy-driven machines' costs plus the
+	// basic support's share (λ+1 machines always pay for updates).
+	Cost float64
+	// OptCost is the sum of per-machine exact optima plus the same basic
+	// share — the decomposition Theorem 2's proof uses.
+	OptCost float64
+	// PerMachine holds each adaptive machine's (online, opt) pair.
+	PerMachine map[int][2]float64
+}
+
+// RunSystem simulates n adaptive machines (outside B(C)) sharing one
+// object class under a global trace, with λ+1 basic machines always
+// replicating. newPolicy builds each machine's policy. The §5.1 cost
+// decomposition makes the exact system optimum the sum of independent
+// per-machine optima, so the theorem's bound can be checked globally:
+//
+//	system online ≤ (3+λ/K)·Σ_m OPT_m + shared base cost + n·B.
+func RunSystem(n, lambda, k, q int, trace []SystemEvent,
+	newPolicy func() adaptive.Policy) (SystemResult, error) {
+	if n < 1 {
+		return SystemResult{}, fmt.Errorf("opt: system size %d < 1", n)
+	}
+	res := SystemResult{PerMachine: make(map[int][2]float64, n)}
+	rg := lambda + 1
+
+	// Decompose the global trace into each machine's event stream: its
+	// own reads plus every update.
+	perMachine := make([][]Event, n)
+	for _, ev := range trace {
+		switch ev.Kind {
+		case Read:
+			m := ev.Machine
+			if m < 0 || m >= n {
+				return SystemResult{}, fmt.Errorf("opt: read from unknown machine %d", ev.Machine)
+			}
+			perMachine[m] = append(perMachine[m], Event{
+				Kind: Read, RgSize: rg, JoinCost: k, QCost: q,
+			})
+		case Update:
+			for m := 0; m < n; m++ {
+				perMachine[m] = append(perMachine[m], Event{
+					Kind: Update, RgSize: rg, JoinCost: k, QCost: q,
+				})
+			}
+			// The basic support always pays: λ+1 unit updates.
+			res.Cost += float64(rg)
+			res.OptCost += float64(rg)
+		}
+	}
+	for m := 0; m < n; m++ {
+		p := newPolicy()
+		run := Run(p, perMachine[m])
+		sched := Optimal(perMachine[m])
+		res.Cost += run.Cost
+		res.OptCost += sched.Cost
+		res.PerMachine[m] = [2]float64{run.Cost, sched.Cost}
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"paso/internal/adaptive"
+	"paso/internal/opt"
+)
+
+func systemTrace(n, events int, readFrac float64, hot int, seed int64) []opt.SystemEvent {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]opt.SystemEvent, events)
+	for i := range out {
+		if r.Float64() < readFrac {
+			m := r.Intn(n)
+			if hot >= 0 && r.Float64() < 0.7 {
+				m = hot
+			}
+			out[i] = opt.SystemEvent{Kind: opt.Read, Machine: m}
+		} else {
+			out[i] = opt.SystemEvent{Kind: opt.Update}
+		}
+	}
+	return out
+}
+
+func TestRunSystemValidation(t *testing.T) {
+	if _, err := opt.RunSystem(0, 1, 4, 1, nil, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := []opt.SystemEvent{{Kind: opt.Read, Machine: 99}}
+	if _, err := opt.RunSystem(2, 1, 4, 1, bad, func() adaptive.Policy {
+		p, _ := adaptive.NewBasic(4)
+		return p
+	}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestSystemBoundHoldsGlobally(t *testing.T) {
+	// The Theorem 2 bound, summed over machines: total online ≤
+	// (3+λ/K)·total OPT + n·B. The shared basic-support cost appears on
+	// both sides, so it only tightens the measured ratio.
+	for _, lambda := range []int{1, 2} {
+		for _, k := range []int{4, 16} {
+			bound := 3 + float64(lambda)/float64(k)
+			for seed := int64(0); seed < 3; seed++ {
+				n := 6
+				trace := systemTrace(n, 8000, 0.6, int(seed%2)*3, seed)
+				res, err := opt.RunSystem(n, lambda, k, 1, trace, func() adaptive.Policy {
+					p, _ := adaptive.NewBasic(k)
+					return p
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				slack := float64(2 * k * n)
+				ratio := opt.Ratio(res.Cost, res.OptCost, slack)
+				if ratio > bound+1e-9 {
+					t.Errorf("λ=%d K=%d seed=%d: system ratio %.3f > %.3f (on=%v opt=%v)",
+						lambda, k, seed, ratio, bound, res.Cost, res.OptCost)
+				}
+				// Each machine individually respects the bound too.
+				for m, pair := range res.PerMachine {
+					r := opt.Ratio(pair[0], pair[1], float64(2*k))
+					if r > bound+1e-9 {
+						t.Errorf("machine %d ratio %.3f > %.3f", m, r, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSystemHotReaderConcentratesMembership(t *testing.T) {
+	// With one hot reader, its machine's online cost should approach its
+	// OPT (it joins once and reads locally), while cold machines stay out
+	// and pay nothing for updates.
+	n, lambda, k := 5, 1, 8
+	trace := systemTrace(n, 6000, 0.8, 2, 9)
+	res, err := opt.RunSystem(n, lambda, k, 1, trace, func() adaptive.Policy {
+		p, _ := adaptive.NewBasic(k)
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := res.PerMachine[2]
+	if hot[0] > 2*hot[1]+float64(4*k) {
+		t.Errorf("hot machine online %v far above its opt %v", hot[0], hot[1])
+	}
+	for m, pair := range res.PerMachine {
+		if m == 2 {
+			continue
+		}
+		if pair[0] > 3.2*pair[1]+float64(4*k) {
+			t.Errorf("cold machine %d online %v vs opt %v", m, pair[0], pair[1])
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package paging implements the virtual paging problem that Theorem 4
+// reduces support selection to: a cache of k pages, a reference trace, and
+// eviction policies — LRU, FIFO, Random, the randomized Marking algorithm,
+// and Belady's optimal MIN. Fault counts transfer directly to support-
+// selection copy costs through the reduction in package support.
+package paging
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy is an online (or offline) page-replacement algorithm.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Run processes the trace with a cache of size k and returns the
+	// number of page faults. The cache starts empty (initial faults
+	// count, as in the standard model).
+	Run(trace []int, k int) int
+}
+
+// validate guards degenerate parameters.
+func validate(trace []int, k int) error {
+	if k < 1 {
+		return fmt.Errorf("paging: cache size %d < 1", k)
+	}
+	return nil
+}
+
+// LRU evicts the least recently used page.
+type LRU struct{}
+
+var _ Policy = LRU{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "lru" }
+
+// Run implements Policy.
+func (LRU) Run(trace []int, k int) int {
+	if validate(trace, k) != nil {
+		return 0
+	}
+	type entry struct{ lastUse int }
+	cache := make(map[int]*entry, k)
+	faults := 0
+	for i, p := range trace {
+		if e, ok := cache[p]; ok {
+			e.lastUse = i
+			continue
+		}
+		faults++
+		if len(cache) >= k {
+			victim, oldest := 0, 1<<62
+			for page, e := range cache {
+				if e.lastUse < oldest {
+					victim, oldest = page, e.lastUse
+				}
+			}
+			delete(cache, victim)
+		}
+		cache[p] = &entry{lastUse: i}
+	}
+	return faults
+}
+
+// FIFO evicts the page that has been cached longest.
+type FIFO struct{}
+
+var _ Policy = FIFO{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Run implements Policy.
+func (FIFO) Run(trace []int, k int) int {
+	if validate(trace, k) != nil {
+		return 0
+	}
+	inCache := make(map[int]bool, k)
+	queue := make([]int, 0, k)
+	faults := 0
+	for _, p := range trace {
+		if inCache[p] {
+			continue
+		}
+		faults++
+		if len(queue) >= k {
+			victim := queue[0]
+			queue = queue[1:]
+			delete(inCache, victim)
+		}
+		queue = append(queue, p)
+		inCache[p] = true
+	}
+	return faults
+}
+
+// Random evicts a uniformly random page. Deterministic given the seed.
+type Random struct {
+	Seed int64
+}
+
+var _ Policy = Random{}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Run implements Policy.
+func (r Random) Run(trace []int, k int) int {
+	if validate(trace, k) != nil {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	cache := make([]int, 0, k)
+	pos := make(map[int]int, k)
+	faults := 0
+	for _, p := range trace {
+		if _, ok := pos[p]; ok {
+			continue
+		}
+		faults++
+		if len(cache) >= k {
+			vi := rng.Intn(len(cache))
+			victim := cache[vi]
+			delete(pos, victim)
+			cache[vi] = p
+			pos[p] = vi
+			continue
+		}
+		pos[p] = len(cache)
+		cache = append(cache, p)
+	}
+	return faults
+}
+
+// Marking is the randomized marking algorithm (O(log k)-competitive, the
+// classic upper bound matching Theorem 4's randomized lower bound): pages
+// are unmarked at the start of a phase; a fault evicts a uniformly random
+// unmarked page; when everything is marked a new phase begins.
+type Marking struct {
+	Seed int64
+}
+
+var _ Policy = Marking{}
+
+// Name implements Policy.
+func (Marking) Name() string { return "marking" }
+
+// Run implements Policy.
+func (m Marking) Run(trace []int, k int) int {
+	if validate(trace, k) != nil {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	marked := make(map[int]bool, k)
+	cached := make(map[int]bool, k)
+	faults := 0
+	for _, p := range trace {
+		if cached[p] {
+			marked[p] = true
+			continue
+		}
+		faults++
+		if len(cached) >= k {
+			// New phase when no unmarked page remains.
+			unmarked := make([]int, 0, k)
+			for page := range cached {
+				if !marked[page] {
+					unmarked = append(unmarked, page)
+				}
+			}
+			if len(unmarked) == 0 {
+				marked = make(map[int]bool, k)
+				for page := range cached {
+					unmarked = append(unmarked, page)
+				}
+			}
+			victim := unmarked[rng.Intn(len(unmarked))]
+			delete(cached, victim)
+		}
+		cached[p] = true
+		marked[p] = true
+	}
+	return faults
+}
+
+// Belady is the offline optimal MIN algorithm: evict the page whose next
+// use is farthest in the future.
+type Belady struct{}
+
+var _ Policy = Belady{}
+
+// Name implements Policy.
+func (Belady) Name() string { return "opt" }
+
+// Run implements Policy.
+func (Belady) Run(trace []int, k int) int {
+	if validate(trace, k) != nil {
+		return 0
+	}
+	// next[i] = index of the next occurrence of trace[i] after i.
+	next := make([]int, len(trace))
+	upcoming := make(map[int]int)
+	for i := len(trace) - 1; i >= 0; i-- {
+		if j, ok := upcoming[trace[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = len(trace)
+		}
+		upcoming[trace[i]] = i
+	}
+	cache := make(map[int]int, k) // page → next use index
+	faults := 0
+	for i, p := range trace {
+		if _, ok := cache[p]; ok {
+			cache[p] = next[i]
+			continue
+		}
+		faults++
+		if len(cache) >= k {
+			victim, farthest := 0, -1
+			for page, nu := range cache {
+				if nu > farthest {
+					victim, farthest = page, nu
+				}
+			}
+			delete(cache, victim)
+		}
+		cache[p] = next[i]
+	}
+	return faults
+}
+
+// AdversarialTrace builds the classic lower-bound trace for deterministic
+// paging: k+1 distinct pages referenced so that every request faults under
+// LRU (cyclic order), while OPT faults at most once per k requests.
+func AdversarialTrace(k, length int) []int {
+	trace := make([]int, length)
+	for i := range trace {
+		trace[i] = i%(k+1) + 1
+	}
+	return trace
+}

@@ -1,0 +1,212 @@
+// Package semantics records PASO operation histories and checks them
+// against the §2 semantics: the object-lifecycle rules A1–A3 and the
+// per-primitive return rules. The checker works on operation intervals
+// (issue/return timestamps from a global logical clock), so it is sound
+// for concurrent histories: it flags only behaviours no interleaving of
+// atomic operations could produce.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"paso/internal/tuple"
+)
+
+// OpType labels recorded operations.
+type OpType int
+
+// Operation types.
+const (
+	// OpInsert is insert(o).
+	OpInsert OpType = iota + 1
+	// OpRead is read(sc).
+	OpRead
+	// OpReadDel is read&del(sc).
+	OpReadDel
+)
+
+// String names the type.
+func (t OpType) String() string {
+	switch t {
+	case OpInsert:
+		return "insert"
+	case OpRead:
+		return "read"
+	case OpReadDel:
+		return "read&del"
+	default:
+		return "invalid"
+	}
+}
+
+// Record is one completed operation.
+type Record struct {
+	Type    OpType
+	Machine int
+	Start   uint64 // logical issue time
+	End     uint64 // logical return time
+	Obj     tuple.ID
+	OK      bool // false for fail returns (and failed inserts)
+}
+
+// Recorder collects records from concurrent operations.
+type Recorder struct {
+	clock atomic.Uint64
+
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Begin stamps an operation's issue time.
+func (r *Recorder) Begin() uint64 { return r.clock.Add(1) }
+
+// EndInsert records a completed insert.
+func (r *Recorder) EndInsert(machine int, start uint64, obj tuple.Tuple, err error) {
+	r.add(Record{
+		Type: OpInsert, Machine: machine, Start: start, End: r.clock.Add(1),
+		Obj: obj.ID(), OK: err == nil,
+	})
+}
+
+// EndRead records a completed read.
+func (r *Recorder) EndRead(machine int, start uint64, obj tuple.Tuple, ok bool) {
+	r.add(Record{
+		Type: OpRead, Machine: machine, Start: start, End: r.clock.Add(1),
+		Obj: obj.ID(), OK: ok,
+	})
+}
+
+// EndReadDel records a completed read&del.
+func (r *Recorder) EndReadDel(machine int, start uint64, obj tuple.Tuple, ok bool) {
+	r.add(Record{
+		Type: OpReadDel, Machine: machine, Start: start, End: r.clock.Add(1),
+		Obj: obj.ID(), OK: ok,
+	})
+}
+
+func (r *Recorder) add(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records = append(r.records, rec)
+}
+
+// History returns a copy of the recorded operations.
+func (r *Recorder) History() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Record(nil), r.records...)
+}
+
+// Violation is one detected semantics breach.
+type Violation struct {
+	Rule   string
+	Detail string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string { return v.Rule + ": " + v.Detail }
+
+// Check validates a history against the §2 rules:
+//
+//	A2a — at most one insert per object identity;
+//	A2b — at most one successful read&del per object;
+//	R1  — every object returned by a read or read&del was inserted, and
+//	      the return happened after the insert was issued (an object can
+//	      only be observed live after its insert began);
+//	R2  — no operation returns an object whose removing read&del
+//	      completed strictly before the operation was issued (dead objects
+//	      stay dead, A1c);
+//	R3  — a successful read&del's object must have been inserted (same as
+//	      R1) and not removed earlier (same as A2b, double-checked via
+//	      intervals).
+func Check(history []Record) []Violation {
+	var out []Violation
+	inserts := make(map[tuple.ID]Record)
+	maybeInserted := make(map[tuple.ID]Record)
+	removes := make(map[tuple.ID]Record)
+	sorted := append([]Record(nil), history...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	for _, rec := range sorted {
+		if rec.Type != OpInsert {
+			continue
+		}
+		if !rec.OK {
+			// An insert that returned an error may still have taken
+			// effect (the machine crashed after the store was ordered but
+			// before the reply arrived). Its object counts as possibly
+			// live; reads of it are not phantom.
+			if !rec.Obj.IsZero() {
+				maybeInserted[rec.Obj] = rec
+			}
+			continue
+		}
+		if prev, dup := inserts[rec.Obj]; dup {
+			out = append(out, Violation{
+				Rule: "A2a",
+				Detail: fmt.Sprintf("object %v inserted twice (machines %d and %d)",
+					rec.Obj, prev.Machine, rec.Machine),
+			})
+			continue
+		}
+		inserts[rec.Obj] = rec
+	}
+	for _, rec := range sorted {
+		if rec.Type != OpReadDel || !rec.OK {
+			continue
+		}
+		if prev, dup := removes[rec.Obj]; dup {
+			out = append(out, Violation{
+				Rule: "A2b",
+				Detail: fmt.Sprintf("object %v removed twice (ends %d and %d)",
+					rec.Obj, prev.End, rec.End),
+			})
+			continue
+		}
+		removes[rec.Obj] = rec
+	}
+	for _, rec := range sorted {
+		if (rec.Type != OpRead && rec.Type != OpReadDel) || !rec.OK {
+			continue
+		}
+		ins, inserted := inserts[rec.Obj]
+		if !inserted {
+			if maybe, ok := maybeInserted[rec.Obj]; ok {
+				ins, inserted = maybe, true
+			}
+		}
+		if !inserted {
+			out = append(out, Violation{
+				Rule:   "R1",
+				Detail: fmt.Sprintf("%s returned never-inserted object %v", rec.Type, rec.Obj),
+			})
+			continue
+		}
+		if rec.End < ins.Start {
+			out = append(out, Violation{
+				Rule: "R1",
+				Detail: fmt.Sprintf("%s of %v returned at %d before its insert was issued at %d",
+					rec.Type, rec.Obj, rec.End, ins.Start),
+			})
+		}
+		// A successful read&del IS the object's unique remover (checked by
+		// A2b above), so the dead-objects-stay-dead rule applies to reads.
+		if rec.Type != OpRead {
+			continue
+		}
+		if rem, removed := removes[rec.Obj]; removed && rem.End < rec.Start {
+			out = append(out, Violation{
+				Rule: "R2",
+				Detail: fmt.Sprintf("read of %v issued at %d after its removal completed at %d",
+					rec.Obj, rec.Start, rem.End),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package semantics
+
+import (
+	"sync"
+	"testing"
+
+	"paso/internal/tuple"
+)
+
+func id(n uint64) tuple.ID { return tuple.ID{Origin: 1, Seq: n} }
+
+func obj(n uint64) tuple.Tuple {
+	return tuple.New(id(n), tuple.Int(int64(n)))
+}
+
+func TestCleanHistoryPasses(t *testing.T) {
+	r := NewRecorder()
+	s1 := r.Begin()
+	r.EndInsert(1, s1, obj(1), nil)
+	s2 := r.Begin()
+	r.EndRead(2, s2, obj(1), true)
+	s3 := r.Begin()
+	r.EndReadDel(3, s3, obj(1), true)
+	s4 := r.Begin()
+	r.EndRead(1, s4, tuple.Tuple{}, false) // fail read afterwards: fine
+	if vs := Check(r.History()); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestDoubleInsertFlagged(t *testing.T) {
+	r := NewRecorder()
+	r.EndInsert(1, r.Begin(), obj(1), nil)
+	r.EndInsert(2, r.Begin(), obj(1), nil)
+	vs := Check(r.History())
+	if len(vs) != 1 || vs[0].Rule != "A2a" {
+		t.Fatalf("violations = %v, want one A2a", vs)
+	}
+	if vs[0].Error() == "" {
+		t.Error("empty violation message")
+	}
+}
+
+func TestDoubleRemoveFlagged(t *testing.T) {
+	r := NewRecorder()
+	r.EndInsert(1, r.Begin(), obj(1), nil)
+	r.EndReadDel(2, r.Begin(), obj(1), true)
+	r.EndReadDel(3, r.Begin(), obj(1), true)
+	vs := Check(r.History())
+	found := false
+	for _, v := range vs {
+		if v.Rule == "A2b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want A2b", vs)
+	}
+}
+
+func TestPhantomReadFlagged(t *testing.T) {
+	r := NewRecorder()
+	r.EndRead(1, r.Begin(), obj(9), true) // never inserted
+	vs := Check(r.History())
+	if len(vs) != 1 || vs[0].Rule != "R1" {
+		t.Fatalf("violations = %v, want R1", vs)
+	}
+}
+
+func TestReadBeforeInsertFlagged(t *testing.T) {
+	r := NewRecorder()
+	// Read completes entirely before the insert is issued.
+	s1 := r.Begin()
+	r.EndRead(1, s1, obj(1), true)
+	s2 := r.Begin()
+	r.EndInsert(2, s2, obj(1), nil)
+	vs := Check(r.History())
+	found := false
+	for _, v := range vs {
+		if v.Rule == "R1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want R1 (returned before insert issued)", vs)
+	}
+}
+
+func TestReadAfterRemoveFlagged(t *testing.T) {
+	r := NewRecorder()
+	r.EndInsert(1, r.Begin(), obj(1), nil)
+	r.EndReadDel(2, r.Begin(), obj(1), true)
+	r.EndRead(3, r.Begin(), obj(1), true) // dead object read
+	vs := Check(r.History())
+	found := false
+	for _, v := range vs {
+		if v.Rule == "R2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want R2", vs)
+	}
+}
+
+func TestConcurrentReadAndRemoveNotFlagged(t *testing.T) {
+	// Overlapping read and read&del of the same object is legal: the read
+	// may have observed the object alive before the removal took effect.
+	r := NewRecorder()
+	r.EndInsert(1, r.Begin(), obj(1), nil)
+	sRead := r.Begin()
+	sDel := r.Begin()
+	r.EndReadDel(2, sDel, obj(1), true)
+	r.EndRead(3, sRead, obj(1), true) // started before removal completed
+	if vs := Check(r.History()); len(vs) != 0 {
+		t.Fatalf("legal overlap flagged: %v", vs)
+	}
+}
+
+func TestFailedOpsIgnored(t *testing.T) {
+	r := NewRecorder()
+	r.EndReadDel(1, r.Begin(), tuple.Tuple{}, false)
+	r.EndRead(1, r.Begin(), tuple.Tuple{}, false)
+	r.EndInsert(1, r.Begin(), obj(1), errFake)
+	if vs := Check(r.History()); len(vs) != 0 {
+		t.Fatalf("failed ops flagged: %v", vs)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestRecorderConcurrentSafe(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := r.Begin()
+				r.EndInsert(w, s, obj(uint64(w*1000+i)), nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := r.History()
+	if len(h) != 800 {
+		t.Fatalf("history length = %d", len(h))
+	}
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpRead.String() != "read" || OpReadDel.String() != "read&del" {
+		t.Error("names wrong")
+	}
+	if OpType(0).String() != "invalid" {
+		t.Error("zero type name wrong")
+	}
+}

@@ -1,0 +1,185 @@
+// Package simnet implements the simulated bus-based local area network the
+// paper's cost analysis assumes (§3.3): reliable FIFO point-to-point
+// messages, no hardware multicast, a global α+β cost meter, and crash/
+// restart of whole machines (§3.1: a crash erases local memory; in-flight
+// and queued messages are lost).
+//
+// The hub serializes all deliveries under one lock, which models the shared
+// bus: one frame at a time. Every send is metered whether or not the
+// destination is alive — a dead receiver does not un-occupy the bus.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paso/internal/cost"
+	"paso/internal/transport"
+)
+
+// Net is a simulated LAN. The zero value is not usable; construct with New.
+type Net struct {
+	model cost.Model
+	meter *cost.Counter
+
+	mu    sync.Mutex
+	nodes map[transport.NodeID]*Endpoint // live endpoints only
+}
+
+// New creates an empty network metering costs under the given model.
+func New(model cost.Model) *Net {
+	return &Net{
+		model: model,
+		meter: &cost.Counter{},
+		nodes: make(map[transport.NodeID]*Endpoint),
+	}
+}
+
+// Model returns the cost model in force.
+func (n *Net) Model() cost.Model { return n.model }
+
+// Meter returns the bus cost meter. All sends by all nodes accumulate here.
+func (n *Net) Meter() *cost.Counter { return n.meter }
+
+// Join attaches a node (or re-attaches a restarted one). All live peers
+// receive a KindUp event; the new endpoint's stream starts with KindUp
+// events for every already-live peer so its failure detector is primed.
+func (n *Net) Join(id transport.NodeID) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("simnet: node %d already live", id)
+	}
+	ep := &Endpoint{id: id, net: n, mbox: transport.NewMailbox()}
+	for peerID, peer := range n.nodes {
+		peer.mbox.Put(transport.Item{Kind: transport.KindUp, From: id})
+		ep.mbox.Put(transport.Item{Kind: transport.KindUp, From: peerID})
+	}
+	n.nodes[id] = ep
+	return ep, nil
+}
+
+// Crash detaches a node abruptly: its endpoint closes, queued messages are
+// lost, and live peers receive a KindDown event. Crashing an unknown or
+// already-down node is a no-op.
+func (n *Net) Crash(id transport.NodeID) {
+	n.mu.Lock()
+	ep, ok := n.nodes[id]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.nodes, id)
+	for _, peer := range n.nodes {
+		peer.mbox.Put(transport.Item{Kind: transport.KindDown, From: id})
+	}
+	n.mu.Unlock()
+	// Close outside the hub lock: Close waits for the pump goroutine,
+	// which may be blocked delivering to a consumer that is itself trying
+	// to send (and would need the hub lock).
+	ep.markClosed()
+	ep.mbox.Close()
+}
+
+// Flap simulates an asymmetric failure-detector glitch: every OTHER live
+// node observes id go down and immediately come back up, while id itself
+// notices nothing and keeps running. This is the hazard a heartbeat
+// detector over real networks produces under load (see the TCP transport),
+// reproduced deterministically for tests: the flapped node gets evicted
+// from its groups without ever learning it, and the group layer's
+// interrogation/restate path must heal the divergence.
+func (n *Net) Flap(id transport.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; !ok {
+		return
+	}
+	for peerID, peer := range n.nodes {
+		if peerID == id {
+			continue
+		}
+		peer.mbox.Put(transport.Item{Kind: transport.KindDown, From: id})
+		peer.mbox.Put(transport.Item{Kind: transport.KindUp, From: id})
+	}
+}
+
+// Live reports whether the node is currently attached.
+func (n *Net) Live(id transport.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.nodes[id]
+	return ok
+}
+
+// alive returns the sorted live node set.
+func (n *Net) alive() []transport.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]transport.NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// send delivers payload from one node to another, metering the bus.
+func (n *Net) send(from, to transport.NodeID, payload []byte) {
+	n.meter.AddMsg(n.model, len(payload))
+	n.mu.Lock()
+	dst, ok := n.nodes[to]
+	n.mu.Unlock()
+	if !ok {
+		return // receiver down: frame transmitted, nobody home
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	dst.mbox.Put(transport.Item{Kind: transport.KindMsg, From: from, Payload: cp})
+}
+
+// Endpoint is a node's attachment to the simulated LAN.
+type Endpoint struct {
+	id   transport.NodeID
+	net  *Net
+	mbox *transport.Mailbox
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// ID implements transport.Endpoint.
+func (e *Endpoint) ID() transport.NodeID { return e.id }
+
+// Send implements transport.Endpoint.
+func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	e.net.send(e.id, to, payload)
+	return nil
+}
+
+// Recv implements transport.Endpoint.
+func (e *Endpoint) Recv() <-chan transport.Item { return e.mbox.Out() }
+
+// Alive implements transport.Endpoint.
+func (e *Endpoint) Alive() []transport.NodeID { return e.net.alive() }
+
+// Close implements transport.Endpoint: a graceful leave, equivalent to a
+// crash at the transport level (peers see KindDown).
+func (e *Endpoint) Close() error {
+	e.net.Crash(e.id)
+	return nil
+}
+
+func (e *Endpoint) markClosed() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+}

@@ -1,0 +1,240 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"paso/internal/cost"
+	"paso/internal/transport"
+)
+
+func newNet(t *testing.T) *Net {
+	t.Helper()
+	return New(cost.Model{Alpha: 10, Beta: 1})
+}
+
+// recvMsg pulls items until a KindMsg arrives or times out.
+func recvMsg(t *testing.T, ep *Endpoint) transport.Item {
+	t.Helper()
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case it, ok := <-ep.Recv():
+			if !ok {
+				t.Fatal("stream closed while waiting for message")
+			}
+			if it.Kind == transport.KindMsg {
+				return it
+			}
+		case <-timeout:
+			t.Fatal("timed out waiting for message")
+		}
+	}
+}
+
+// recvEvent pulls items until an Up/Down event for the given node arrives.
+func recvEvent(t *testing.T, ep *Endpoint, kind transport.ItemKind, node transport.NodeID) {
+	t.Helper()
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case it, ok := <-ep.Recv():
+			if !ok {
+				t.Fatalf("stream closed waiting for %v(%d)", kind, node)
+			}
+			if it.Kind == kind && it.From == node {
+				return
+			}
+		case <-timeout:
+			t.Fatalf("timed out waiting for %v(%d)", kind, node)
+		}
+	}
+}
+
+func TestSendDeliver(t *testing.T) {
+	n := newNet(t)
+	a, err := n.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	it := recvMsg(t, b)
+	if it.From != 1 || string(it.Payload) != "hi" {
+		t.Fatalf("got %+v", it)
+	}
+}
+
+func TestFIFOPerSender(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	for i := byte(0); i < 50; i++ {
+		if err := a.Send(2, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 50; i++ {
+		it := recvMsg(t, b)
+		if it.Payload[0] != i {
+			t.Fatalf("out of order: got %d want %d", it.Payload[0], i)
+		}
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	buf := []byte("abc")
+	_ = a.Send(2, buf)
+	buf[0] = 'z'
+	it := recvMsg(t, b)
+	if string(it.Payload) != "abc" {
+		t.Fatalf("payload aliased sender buffer: %q", it.Payload)
+	}
+}
+
+func TestDoubleJoinRejected(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join(1); err == nil {
+		t.Fatal("double join should fail")
+	}
+}
+
+func TestUpEventsOnJoin(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	recvEvent(t, a, transport.KindUp, 2) // existing node learns of 2
+	recvEvent(t, b, transport.KindUp, 1) // joiner is primed with 1
+}
+
+func TestCrashEventsAndStreamClose(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	n.Crash(2)
+	recvEvent(t, a, transport.KindDown, 2)
+	// b's stream must close.
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-b.Recv():
+			if !ok {
+				goto closed
+			}
+		case <-timeout:
+			t.Fatal("crashed endpoint stream never closed")
+		}
+	}
+closed:
+	if err := b.Send(1, []byte("x")); err != transport.ErrClosed {
+		t.Fatalf("Send after crash = %v, want ErrClosed", err)
+	}
+}
+
+func TestCrashLosesQueuedMessages(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	_ = a.Send(2, []byte("lost"))
+	n.Crash(2)
+	// Restart node 2: it must NOT receive the pre-crash message.
+	b2, err := n.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Send(2, []byte("fresh"))
+	it := recvMsg(t, b2)
+	if string(it.Payload) != "fresh" {
+		t.Fatalf("restarted node got stale message %q", it.Payload)
+	}
+	_ = b
+}
+
+func TestSendToDeadNodeIsMeteredNotError(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	before := n.Meter().Snapshot().Messages
+	if err := a.Send(99, []byte("void")); err != nil {
+		t.Fatalf("send to dead node errored: %v", err)
+	}
+	if after := n.Meter().Snapshot().Messages; after != before+1 {
+		t.Errorf("bus not metered for dead-destination frame")
+	}
+}
+
+func TestAliveSorted(t *testing.T) {
+	n := newNet(t)
+	_, _ = n.Join(3)
+	ep, _ := n.Join(1)
+	_, _ = n.Join(2)
+	got := ep.Alive()
+	want := []transport.NodeID{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("Alive = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Alive = %v, want %v", got, want)
+		}
+	}
+	n.Crash(2)
+	if len(ep.Alive()) != 2 {
+		t.Errorf("Alive after crash = %v", ep.Alive())
+	}
+	if !n.Live(1) || n.Live(2) {
+		t.Error("Live() wrong")
+	}
+}
+
+func TestMeterAccumulatesAlphaBeta(t *testing.T) {
+	n := New(cost.Model{Alpha: 7, Beta: 2})
+	a, _ := n.Join(1)
+	_, _ = n.Join(2)
+	_ = a.Send(2, make([]byte, 10))
+	got := n.Meter().Snapshot()
+	if got.MsgCost != 7+2*10 {
+		t.Errorf("msg cost = %v, want 27", got.MsgCost)
+	}
+	if got.Bytes != 10 {
+		t.Errorf("bytes = %d", got.Bytes)
+	}
+}
+
+func TestCloseIsGracefulLeave(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recvEvent(t, a, transport.KindDown, 2)
+}
+
+func TestFlapEmitsDownUpToPeersOnly(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	n.Flap(2)
+	recvEvent(t, a, transport.KindDown, 2)
+	recvEvent(t, a, transport.KindUp, 2)
+	// The flapped node itself notices nothing and keeps working.
+	if err := b.Send(1, []byte("alive")); err != nil {
+		t.Fatalf("flapped node cannot send: %v", err)
+	}
+	it := recvMsg(t, a)
+	if string(it.Payload) != "alive" {
+		t.Fatalf("got %q", it.Payload)
+	}
+	n.Flap(99) // unknown node: no-op
+}

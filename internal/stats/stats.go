@@ -1,0 +1,159 @@
+// Package stats provides small numeric summaries and fixed-width table
+// rendering for the experiment harness (the paper-style tables printed by
+// cmd/paso-bench and the benchmarks).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	ID    string // experiment id, e.g. "E4"
+	Title string
+	Notes []string
+
+	header []string
+	rows   [][]string
+}
+
+// NewTable builds a table with the given column headers.
+func NewTable(id, title string, header ...string) *Table {
+	return &Table{ID: id, Title: title, header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the cell at (row, col), or "" out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.header) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// D formats an int for table cells.
+func D(v int) string { return fmt.Sprintf("%d", v) }
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Min, Max   float64
+	P50, P90, P99    float64
+	Sum              float64
+	StdDev           float64
+	sortedPopulation []float64
+}
+
+// Summarize computes order statistics. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.sortedPopulation = sorted
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	s.StdDev = math.Sqrt(varsum / float64(s.N))
+	s.P50 = s.quantile(0.50)
+	s.P90 = s.quantile(0.90)
+	s.P99 = s.quantile(0.99)
+	return s
+}
+
+func (s Summary) quantile(q float64) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	idx := int(q * float64(s.N-1))
+	return s.sortedPopulation[idx]
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E1", "Insert cost", "n", "g", "cost")
+	tb.AddRow("4", "2", "500")
+	tb.AddRow("8", "2", "500")
+	tb.AddNote("α=%d β=%d", 100, 1)
+	out := tb.Render()
+	if !strings.Contains(out, "E1: Insert cost") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "note: α=100 β=1") {
+		t.Error("note missing")
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 2) != "500" {
+		t.Errorf("cell = %q", tb.Cell(0, 2))
+	}
+	if tb.Cell(5, 0) != "" || tb.Cell(0, 9) != "" {
+		t.Error("out of range cells should be empty")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("X", "ragged", "a", "b")
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	if tb.Cell(0, 1) != "" {
+		t.Error("short row should pad")
+	}
+	if tb.Cell(1, 1) != "2" {
+		t.Error("long row should truncate to header width")
+	}
+}
+
+func TestFFormatting(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"},
+		{3.14159, "3.142"},
+		{12345.678, "12345.7"},
+		{math.Inf(1), "-"},
+		{math.NaN(), "-"},
+	}
+	for _, tt := range tests {
+		if got := F(tt.v); got != tt.want {
+			t.Errorf("F(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+	if D(42) != "42" {
+		t.Error("D wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Sum != 10 || s.Mean != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 2 { // index int(0.5*3)=1 of sorted [1 2 3 4]
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.StdDev <= 0 {
+		t.Error("stddev should be positive")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

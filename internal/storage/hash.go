@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"container/list"
+
+	"paso/internal/tuple"
+)
+
+// Hash is a dictionary store: fully ground templates (all fields OpEq) are
+// answered with one hash probe (the paper's I(.)=Q(.)=D(.)=O(1) case used to
+// normalize costs in §5). Non-ground templates fall back to an oldest-first
+// linear scan, preserving correctness for general criteria.
+type Hash struct {
+	entries *list.List // of Entry, ascending seq (oldest first)
+	byID    map[tuple.ID]*list.Element
+	byKey   map[string][]*list.Element // FIFO buckets per content key
+	stats   Stats
+}
+
+var _ Store = (*Hash)(nil)
+
+// NewHash returns an empty hash store.
+func NewHash() *Hash {
+	return &Hash{
+		entries: list.New(),
+		byID:    make(map[tuple.ID]*list.Element),
+		byKey:   make(map[string][]*list.Element),
+	}
+}
+
+// contentKey is the identity-stripped encoding of the tuple.
+func contentKey(t tuple.Tuple) string {
+	return string(tuple.EncodeTuple(t.WithID(tuple.ID{})))
+}
+
+// groundKey builds the content key a tuple matching tp would have, if tp is
+// fully ground (every matcher OpEq).
+func groundKey(tp tuple.Template) (string, bool) {
+	fields := make([]tuple.Value, tp.Arity())
+	for i := 0; i < tp.Arity(); i++ {
+		m := tp.Matcher(i)
+		if m.Op != tuple.OpEq {
+			return "", false
+		}
+		fields[i] = m.A
+	}
+	return contentKey(tuple.Make(fields...)), true
+}
+
+// Insert implements Store.
+func (s *Hash) Insert(seq uint64, t tuple.Tuple) {
+	el := s.entries.PushBack(Entry{Seq: seq, Tuple: t})
+	s.byID[t.ID()] = el
+	k := contentKey(t)
+	s.byKey[k] = append(s.byKey[k], el)
+	s.stats.Inserts++
+	s.stats.InsertProbes++
+}
+
+// Read implements Store.
+func (s *Hash) Read(tp tuple.Template) (tuple.Tuple, bool) {
+	s.stats.Reads++
+	if k, ok := groundKey(tp); ok {
+		s.stats.ReadProbes++
+		bucket := s.byKey[k]
+		if len(bucket) == 0 {
+			return tuple.Tuple{}, false
+		}
+		e, _ := bucket[0].Value.(Entry)
+		return e.Tuple, true
+	}
+	for el := s.entries.Front(); el != nil; el = el.Next() {
+		s.stats.ReadProbes++
+		e, _ := el.Value.(Entry)
+		if tp.Matches(e.Tuple) {
+			return e.Tuple, true
+		}
+	}
+	return tuple.Tuple{}, false
+}
+
+// Remove implements Store.
+func (s *Hash) Remove(tp tuple.Template) (tuple.Tuple, bool) {
+	s.stats.Removes++
+	if k, ok := groundKey(tp); ok {
+		s.stats.RemoveProbes++
+		bucket := s.byKey[k]
+		if len(bucket) == 0 {
+			return tuple.Tuple{}, false
+		}
+		el := bucket[0]
+		e, _ := el.Value.(Entry)
+		s.unlink(el, e, k)
+		return e.Tuple, true
+	}
+	for el := s.entries.Front(); el != nil; el = el.Next() {
+		s.stats.RemoveProbes++
+		e, _ := el.Value.(Entry)
+		if tp.Matches(e.Tuple) {
+			s.unlink(el, e, contentKey(e.Tuple))
+			return e.Tuple, true
+		}
+	}
+	return tuple.Tuple{}, false
+}
+
+// unlink removes el from the ordered list, the id index, and its key bucket.
+func (s *Hash) unlink(el *list.Element, e Entry, key string) {
+	s.entries.Remove(el)
+	delete(s.byID, e.Tuple.ID())
+	bucket := s.byKey[key]
+	for i, b := range bucket {
+		if b == el {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(s.byKey, key)
+	} else {
+		s.byKey[key] = bucket
+	}
+}
+
+// RemoveByID implements Store.
+func (s *Hash) RemoveByID(id tuple.ID) bool {
+	el, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	e, _ := el.Value.(Entry)
+	s.unlink(el, e, contentKey(e.Tuple))
+	return true
+}
+
+// Len implements Store.
+func (s *Hash) Len() int { return s.entries.Len() }
+
+// Snapshot implements Store.
+func (s *Hash) Snapshot() []Entry {
+	out := make([]Entry, 0, s.entries.Len())
+	for el := s.entries.Front(); el != nil; el = el.Next() {
+		e, _ := el.Value.(Entry)
+		out = append(out, e)
+	}
+	return out
+}
+
+// Restore implements Store.
+func (s *Hash) Restore(entries []Entry) {
+	s.entries.Init()
+	s.byID = make(map[tuple.ID]*list.Element, len(entries))
+	s.byKey = make(map[string][]*list.Element, len(entries))
+	for _, e := range entries {
+		el := s.entries.PushBack(e)
+		s.byID[e.Tuple.ID()] = el
+		k := contentKey(e.Tuple)
+		s.byKey[k] = append(s.byKey[k], el)
+	}
+}
+
+// Stats implements Store.
+func (s *Hash) Stats() Stats { return s.stats }

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"container/list"
+
+	"paso/internal/tuple"
+)
+
+// List is a linear-scan store supporting arbitrary pattern matching. Insert
+// appends (O(1)); Read and Remove scan from the oldest entry forward, so
+// Remove naturally returns the oldest match.
+type List struct {
+	entries *list.List // of Entry, ascending seq
+	byID    map[tuple.ID]*list.Element
+	stats   Stats
+}
+
+var _ Store = (*List)(nil)
+
+// NewList returns an empty list store.
+func NewList() *List {
+	return &List{
+		entries: list.New(),
+		byID:    make(map[tuple.ID]*list.Element),
+	}
+}
+
+// Insert implements Store.
+func (s *List) Insert(seq uint64, t tuple.Tuple) {
+	el := s.entries.PushBack(Entry{Seq: seq, Tuple: t})
+	s.byID[t.ID()] = el
+	s.stats.Inserts++
+	s.stats.InsertProbes++
+}
+
+// Read implements Store.
+func (s *List) Read(tp tuple.Template) (tuple.Tuple, bool) {
+	s.stats.Reads++
+	for el := s.entries.Front(); el != nil; el = el.Next() {
+		s.stats.ReadProbes++
+		e, _ := el.Value.(Entry)
+		if tp.Matches(e.Tuple) {
+			return e.Tuple, true
+		}
+	}
+	return tuple.Tuple{}, false
+}
+
+// Remove implements Store.
+func (s *List) Remove(tp tuple.Template) (tuple.Tuple, bool) {
+	s.stats.Removes++
+	for el := s.entries.Front(); el != nil; el = el.Next() {
+		s.stats.RemoveProbes++
+		e, _ := el.Value.(Entry)
+		if tp.Matches(e.Tuple) {
+			s.entries.Remove(el)
+			delete(s.byID, e.Tuple.ID())
+			return e.Tuple, true
+		}
+	}
+	return tuple.Tuple{}, false
+}
+
+// RemoveByID implements Store.
+func (s *List) RemoveByID(id tuple.ID) bool {
+	el, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	s.entries.Remove(el)
+	delete(s.byID, id)
+	return true
+}
+
+// Len implements Store.
+func (s *List) Len() int { return s.entries.Len() }
+
+// Snapshot implements Store.
+func (s *List) Snapshot() []Entry {
+	out := make([]Entry, 0, s.entries.Len())
+	for el := s.entries.Front(); el != nil; el = el.Next() {
+		e, _ := el.Value.(Entry)
+		out = append(out, e)
+	}
+	return out
+}
+
+// Restore implements Store.
+func (s *List) Restore(entries []Entry) {
+	s.entries.Init()
+	s.byID = make(map[tuple.ID]*list.Element, len(entries))
+	for _, e := range entries {
+		el := s.entries.PushBack(e)
+		s.byID[e.Tuple.ID()] = el
+	}
+}
+
+// Stats implements Store.
+func (s *List) Stats() Stats { return s.stats }

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"paso/internal/tuple"
+)
+
+// opScript is a quick.Generator producing random operation sequences for
+// the store-equivalence property.
+type opScript struct {
+	ops []scriptOp
+}
+
+type scriptOp struct {
+	kind int // 0 insert, 1 remove, 2 read, 3 removeByID
+	name byte
+	key  int64
+}
+
+// Generate implements quick.Generator.
+func (opScript) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 20 + r.Intn(200)
+	ops := make([]scriptOp, n)
+	for i := range ops {
+		ops[i] = scriptOp{
+			kind: r.Intn(4),
+			name: byte('a' + r.Intn(2)),
+			key:  int64(r.Intn(6)),
+		}
+	}
+	return reflect.ValueOf(opScript{ops: ops})
+}
+
+// TestPropertyStoreKindsEquivalent runs random scripts against all three
+// store kinds: observable behaviour (remove results, lengths, snapshot
+// contents) must be identical. The list store is the executable spec.
+func TestPropertyStoreKindsEquivalent(t *testing.T) {
+	f := func(script opScript) bool {
+		ref := NewList()
+		hash := NewHash()
+		tree := NewTree(1)
+		var seq, idseq uint64
+		ids := make([]tuple.ID, 0, len(script.ops))
+		for _, op := range script.ops {
+			switch op.kind {
+			case 0:
+				seq++
+				idseq++
+				tu := tuple.New(tuple.ID{Origin: 3, Seq: idseq},
+					tuple.String(string(op.name)), tuple.Int(op.key))
+				ref.Insert(seq, tu)
+				hash.Insert(seq, tu)
+				tree.Insert(seq, tu)
+				ids = append(ids, tu.ID())
+			case 1:
+				tp := tuple.NewTemplate(tuple.Eq(tuple.String(string(op.name))), tuple.Eq(tuple.Int(op.key)))
+				a, aok := ref.Remove(tp)
+				b, bok := hash.Remove(tp)
+				c, cok := tree.Remove(tp)
+				if aok != bok || aok != cok {
+					return false
+				}
+				if aok && (a.ID() != b.ID() || a.ID() != c.ID()) {
+					return false
+				}
+			case 2:
+				tp := tuple.NewTemplate(tuple.Eq(tuple.String(string(op.name))), tuple.Any(tuple.KindInt))
+				_, aok := ref.Read(tp)
+				_, bok := hash.Read(tp)
+				_, cok := tree.Read(tp)
+				if aok != bok || aok != cok {
+					return false
+				}
+			case 3:
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(op.key)%len(ids)]
+				a := ref.RemoveByID(id)
+				b := hash.RemoveByID(id)
+				c := tree.RemoveByID(id)
+				if a != b || a != c {
+					return false
+				}
+			}
+			if ref.Len() != hash.Len() || ref.Len() != tree.Len() {
+				return false
+			}
+		}
+		// Final snapshots must agree entry for entry.
+		sa, sb, sc := ref.Snapshot(), hash.Snapshot(), tree.Snapshot()
+		if len(sa) != len(sb) || len(sa) != len(sc) {
+			return false
+		}
+		for i := range sa {
+			if sa[i].Seq != sb[i].Seq || sa[i].Seq != sc[i].Seq ||
+				sa[i].Tuple.ID() != sb[i].Tuple.ID() || sa[i].Tuple.ID() != sc[i].Tuple.ID() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySnapshotRestoreIdempotent: restore(snapshot(s)) is an
+// identity on observable state for every store kind.
+func TestPropertySnapshotRestoreIdempotent(t *testing.T) {
+	f := func(script opScript) bool {
+		for _, kind := range []Kind{KindList, KindHash, KindTree} {
+			s, err := New(kind, 1)
+			if err != nil {
+				return false
+			}
+			var seq uint64
+			for _, op := range script.ops {
+				if op.kind != 0 {
+					continue
+				}
+				seq++
+				s.Insert(seq, tuple.New(tuple.ID{Origin: 4, Seq: seq},
+					tuple.String(string(op.name)), tuple.Int(op.key)))
+			}
+			snap := s.Snapshot()
+			s2, err := New(kind, 1)
+			if err != nil {
+				return false
+			}
+			s2.Restore(snap)
+			if s2.Len() != s.Len() {
+				return false
+			}
+			again := s2.Snapshot()
+			if len(again) != len(snap) {
+				return false
+			}
+			for i := range snap {
+				if snap[i].Seq != again[i].Seq || snap[i].Tuple.ID() != again[i].Tuple.ID() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,362 @@
+package storage
+
+import (
+	"paso/internal/tuple"
+)
+
+// Tree is an ordered store built on a left-leaning red-black tree keyed by
+// one designated tuple field. Templates that pin the key field with OpEq or
+// OpRange visit only the in-range subtree (Q = O(log ℓ + hits)); other
+// templates degrade to a full in-order walk. Remove returns the oldest
+// (lowest seq) in-range match, so tree replicas stay consistent with list
+// and hash replicas.
+type Tree struct {
+	root     *treeNode
+	keyField int
+	size     int
+	byID     map[tuple.ID]treeKey
+	stats    Stats
+}
+
+var _ Store = (*Tree)(nil)
+
+// treeKey orders entries by (key value, seq).
+type treeKey struct {
+	val tuple.Value
+	seq uint64
+}
+
+func (a treeKey) compare(b treeKey) int {
+	if c := a.val.Compare(b.val); c != 0 {
+		return c
+	}
+	switch {
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+type treeNode struct {
+	key         treeKey
+	entry       Entry
+	left, right *treeNode
+	red         bool
+}
+
+// NewTree returns an empty tree store ordered on the given field index.
+func NewTree(keyField int) *Tree {
+	if keyField < 0 {
+		keyField = 0
+	}
+	return &Tree{keyField: keyField, byID: make(map[tuple.ID]treeKey)}
+}
+
+// KeyField returns the field index the tree orders on.
+func (s *Tree) KeyField() int { return s.keyField }
+
+// keyOf extracts the ordering key from a tuple.
+func (s *Tree) keyOf(seq uint64, t tuple.Tuple) treeKey {
+	var v tuple.Value
+	if s.keyField < t.Arity() {
+		v = t.Field(s.keyField)
+	}
+	return treeKey{val: v, seq: seq}
+}
+
+// Insert implements Store.
+func (s *Tree) Insert(seq uint64, t tuple.Tuple) {
+	k := s.keyOf(seq, t)
+	s.root = s.insert(s.root, k, Entry{Seq: seq, Tuple: t})
+	s.root.red = false
+	s.byID[t.ID()] = k
+	s.size++
+	s.stats.Inserts++
+}
+
+// keyBounds extracts [lo,hi] bounds on the key field from the template, if
+// it constrains that field with OpEq or OpRange.
+func (s *Tree) keyBounds(tp tuple.Template) (lo, hi tuple.Value, ok bool) {
+	if s.keyField >= tp.Arity() {
+		return tuple.Value{}, tuple.Value{}, false
+	}
+	m := tp.Matcher(s.keyField)
+	switch m.Op {
+	case tuple.OpEq:
+		return m.A, m.A, true
+	case tuple.OpRange:
+		return m.A, m.B, true
+	default:
+		return tuple.Value{}, tuple.Value{}, false
+	}
+}
+
+// Read implements Store.
+func (s *Tree) Read(tp tuple.Template) (tuple.Tuple, bool) {
+	s.stats.Reads++
+	found, ok := s.search(tp, &s.stats.ReadProbes)
+	if !ok {
+		return tuple.Tuple{}, false
+	}
+	return found.Tuple, true
+}
+
+// Remove implements Store.
+func (s *Tree) Remove(tp tuple.Template) (tuple.Tuple, bool) {
+	s.stats.Removes++
+	found, ok := s.search(tp, &s.stats.RemoveProbes)
+	if !ok {
+		return tuple.Tuple{}, false
+	}
+	s.delete(s.keyOf(found.Seq, found.Tuple))
+	delete(s.byID, found.Tuple.ID())
+	return found.Tuple, true
+}
+
+// search finds the oldest entry matching tp, visiting only in-bounds nodes
+// when the key field is constrained.
+func (s *Tree) search(tp tuple.Template, probes *int) (Entry, bool) {
+	lo, hi, bounded := s.keyBounds(tp)
+	var best Entry
+	have := false
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		*probes++
+		inLo := !bounded || lo.Compare(n.key.val) <= 0
+		inHi := !bounded || n.key.val.Compare(hi) <= 0
+		if inLo {
+			walk(n.left)
+		}
+		if inLo && inHi && tp.Matches(n.entry.Tuple) {
+			if !have || n.entry.Seq < best.Seq {
+				best, have = n.entry, true
+			}
+		}
+		if inHi {
+			walk(n.right)
+		}
+	}
+	walk(s.root)
+	return best, have
+}
+
+// RemoveByID implements Store.
+func (s *Tree) RemoveByID(id tuple.ID) bool {
+	k, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	s.delete(k)
+	delete(s.byID, id)
+	return true
+}
+
+// Len implements Store.
+func (s *Tree) Len() int { return s.size }
+
+// Snapshot implements Store. Entries are returned in ascending seq order
+// regardless of key order so Restore into any store kind is equivalent.
+func (s *Tree) Snapshot() []Entry {
+	out := make([]Entry, 0, s.size)
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.entry)
+		walk(n.right)
+	}
+	walk(s.root)
+	// Sort by seq (insertion order). Tree order is by key, so re-sort.
+	sortEntriesBySeq(out)
+	return out
+}
+
+// Restore implements Store.
+func (s *Tree) Restore(entries []Entry) {
+	s.root = nil
+	s.size = 0
+	s.byID = make(map[tuple.ID]treeKey, len(entries))
+	for _, e := range entries {
+		s.Insert(e.Seq, e.Tuple)
+		s.stats.Inserts-- // Restore is not an application insert
+	}
+}
+
+// Stats implements Store.
+func (s *Tree) Stats() Stats { return s.stats }
+
+func sortEntriesBySeq(es []Entry) {
+	// Insertion sort is fine: snapshots are usually nearly sorted already
+	// when classes see few removals; fall back cost is O(ℓ²) only on
+	// pathological orders, and ℓ is bounded per class.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Seq < es[j-1].Seq; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// --- left-leaning red-black tree mechanics (Sedgewick 2008) ---
+
+func isRed(n *treeNode) bool { return n != nil && n.red }
+
+func rotateLeft(h *treeNode) *treeNode {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight(h *treeNode) *treeNode {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func colorFlip(h *treeNode) {
+	h.red = !h.red
+	if h.left != nil {
+		h.left.red = !h.left.red
+	}
+	if h.right != nil {
+		h.right.red = !h.right.red
+	}
+}
+
+func fixUp(h *treeNode) *treeNode {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		colorFlip(h)
+	}
+	return h
+}
+
+func (s *Tree) insert(h *treeNode, k treeKey, e Entry) *treeNode {
+	if h == nil {
+		return &treeNode{key: k, entry: e, red: true}
+	}
+	switch c := k.compare(h.key); {
+	case c < 0:
+		h.left = s.insert(h.left, k, e)
+	case c > 0:
+		h.right = s.insert(h.right, k, e)
+	default:
+		h.entry = e // same (value,seq): overwrite (cannot happen in practice)
+	}
+	return fixUp(h)
+}
+
+func moveRedLeft(h *treeNode) *treeNode {
+	colorFlip(h)
+	if h.right != nil && isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		colorFlip(h)
+	}
+	return h
+}
+
+func moveRedRight(h *treeNode) *treeNode {
+	colorFlip(h)
+	if h.left != nil && isRed(h.left.left) {
+		h = rotateRight(h)
+		colorFlip(h)
+	}
+	return h
+}
+
+func minNode(h *treeNode) *treeNode {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func deleteMin(h *treeNode) *treeNode {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// delete removes the node with exactly key k, if present.
+func (s *Tree) delete(k treeKey) {
+	if s.root == nil {
+		return
+	}
+	if !s.contains(k) {
+		return
+	}
+	s.root = deleteNode(s.root, k)
+	if s.root != nil {
+		s.root.red = false
+	}
+	s.size--
+}
+
+func (s *Tree) contains(k treeKey) bool {
+	n := s.root
+	for n != nil {
+		switch c := k.compare(n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func deleteNode(h *treeNode, k treeKey) *treeNode {
+	if k.compare(h.key) < 0 {
+		if !isRed(h.left) && h.left != nil && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = deleteNode(h.left, k)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if k.compare(h.key) == 0 && h.right == nil {
+			return nil
+		}
+		if h.right != nil {
+			if !isRed(h.right) && !isRed(h.right.left) {
+				h = moveRedRight(h)
+			}
+			if k.compare(h.key) == 0 {
+				mn := minNode(h.right)
+				h.key = mn.key
+				h.entry = mn.entry
+				h.right = deleteMin(h.right)
+			} else {
+				h.right = deleteNode(h.right, k)
+			}
+		}
+	}
+	return fixUp(h)
+}

@@ -1,0 +1,219 @@
+// Package support implements the Support Selection Problem of §5.2:
+// maintain |wg(C)| = min(λ+1, n−f) as machines fail, choosing each failed
+// member's replacement on-line so as to minimize total state-copy cost.
+// Each replacement copies the class state at cost g(ℓ).
+//
+// Theorem 4 reduces virtual paging to this problem (pages ↔ machines, a
+// page being cached ↔ the machine being OUTSIDE the write group, a page
+// reference ↔ a machine failure), so no deterministic selector beats
+// (n−λ−1)-competitiveness and no randomized one beats log(n−λ−1). The
+// paper's LRF heuristic ("replace by the least recently failed machine")
+// is LRU under this reduction.
+package support
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Selector chooses replacement machines. Implementations may keep state
+// across events; Reset is called before each simulation.
+type Selector interface {
+	// Name identifies the selector in reports.
+	Name() string
+	// Reset prepares for a fresh run over machines 1..n.
+	Reset(n int)
+	// Pick chooses the replacement from outside (machines currently
+	// operational and not in the write group). now is the event index;
+	// lastFailed[m] is the most recent failure index of machine m (0 if
+	// never failed). future holds the full failure trace for offline
+	// selectors (nil for online ones... always provided, but online
+	// selectors must not look at indexes > now).
+	Pick(outside []int, now int, lastFailed map[int]int, future []int) int
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Failures     int
+	Replacements int // "faults": failures that hit a write-group member
+	CopyCost     float64
+}
+
+// Simulate runs a failure trace against a selector. The write group starts
+// as machines 1..λ+1; every machine is operational between events (the
+// Theorem 4 regime: a failed machine is replaced and immediately revives
+// outside the write group). copyCost is g(ℓ), charged per replacement.
+func Simulate(sel Selector, n, lambda int, failures []int, copyCost float64) (Result, error) {
+	if lambda+1 > n {
+		return Result{}, fmt.Errorf("support: λ+1 = %d > n = %d", lambda+1, n)
+	}
+	sel.Reset(n)
+	inWG := make(map[int]bool, lambda+1)
+	for m := 1; m <= lambda+1; m++ {
+		inWG[m] = true
+	}
+	lastFailed := make(map[int]int, n)
+	var res Result
+	for i, failed := range failures {
+		if failed < 1 || failed > n {
+			return Result{}, fmt.Errorf("support: failure of unknown machine %d", failed)
+		}
+		res.Failures++
+		now := i + 1
+		wasMember := inWG[failed]
+		lastFailed[failed] = now
+		if !wasMember {
+			continue // a cache hit in the reduction: no copy needed
+		}
+		// The failed member must be replaced by an outside machine.
+		delete(inWG, failed)
+		outside := make([]int, 0, n-lambda-1)
+		for m := 1; m <= n; m++ {
+			if !inWG[m] && m != failed {
+				outside = append(outside, m)
+			}
+		}
+		if len(outside) == 0 {
+			// n = λ+1: the revived machine itself rejoins.
+			inWG[failed] = true
+			res.Replacements++
+			res.CopyCost += copyCost
+			continue
+		}
+		pick := sel.Pick(outside, now, lastFailed, failures)
+		if !contains(outside, pick) {
+			return Result{}, fmt.Errorf("support: %s picked %d not in outside set %v",
+				sel.Name(), pick, outside)
+		}
+		inWG[pick] = true
+		res.Replacements++
+		res.CopyCost += copyCost
+	}
+	return res, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// LRF is the paper's heuristic: replace by the Least Recently Failed
+// machine ("the longer a machine stays up, the more reliable it is").
+// Under the Theorem 4 reduction it is exactly LRU.
+type LRF struct{}
+
+var _ Selector = (*LRF)(nil)
+
+// Name implements Selector.
+func (*LRF) Name() string { return "lrf" }
+
+// Reset implements Selector.
+func (*LRF) Reset(int) {}
+
+// Pick implements Selector.
+func (*LRF) Pick(outside []int, _ int, lastFailed map[int]int, _ []int) int {
+	best, bestTime := outside[0], int(^uint(0)>>1)
+	for _, m := range outside {
+		if t := lastFailed[m]; t < bestTime {
+			best, bestTime = m, t
+		}
+	}
+	return best
+}
+
+// MRF replaces by the Most Recently Failed machine — the anti-heuristic,
+// included as a baseline to show the heuristic's value.
+type MRF struct{}
+
+var _ Selector = (*MRF)(nil)
+
+// Name implements Selector.
+func (*MRF) Name() string { return "mrf" }
+
+// Reset implements Selector.
+func (*MRF) Reset(int) {}
+
+// Pick implements Selector.
+func (*MRF) Pick(outside []int, _ int, lastFailed map[int]int, _ []int) int {
+	best, bestTime := outside[0], -1
+	for _, m := range outside {
+		if t := lastFailed[m]; t > bestTime {
+			best, bestTime = m, t
+		}
+	}
+	return best
+}
+
+// Random picks a uniformly random replacement (seeded).
+type Random struct {
+	Seed int64
+	rng  *rand.Rand
+}
+
+var _ Selector = (*Random)(nil)
+
+// Name implements Selector.
+func (*Random) Name() string { return "random" }
+
+// Reset implements Selector.
+func (r *Random) Reset(int) { r.rng = rand.New(rand.NewSource(r.Seed)) }
+
+// Pick implements Selector.
+func (r *Random) Pick(outside []int, _ int, _ map[int]int, _ []int) int {
+	return outside[r.rng.Intn(len(outside))]
+}
+
+// RoundRobin cycles through machine IDs.
+type RoundRobin struct {
+	next int
+}
+
+var _ Selector = (*RoundRobin)(nil)
+
+// Name implements Selector.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Reset implements Selector.
+func (rr *RoundRobin) Reset(int) { rr.next = 0 }
+
+// Pick implements Selector.
+func (rr *RoundRobin) Pick(outside []int, _ int, _ map[int]int, _ []int) int {
+	pick := outside[rr.next%len(outside)]
+	rr.next++
+	return pick
+}
+
+// Offline is the Belady-style optimal selector: replace by the machine
+// whose NEXT failure lies farthest in the future. It reads the trace ahead
+// of now, so it is offline — the OPT the online selectors are compared to.
+type Offline struct{}
+
+var _ Selector = (*Offline)(nil)
+
+// Name implements Selector.
+func (*Offline) Name() string { return "offline-opt" }
+
+// Reset implements Selector.
+func (*Offline) Reset(int) {}
+
+// Pick implements Selector.
+func (*Offline) Pick(outside []int, now int, _ map[int]int, future []int) int {
+	best, bestNext := outside[0], -1
+	for _, m := range outside {
+		next := len(future) + 1
+		for i := now; i < len(future); i++ {
+			if future[i] == m {
+				next = i
+				break
+			}
+		}
+		if next > bestNext {
+			best, bestNext = m, next
+		}
+	}
+	return best
+}

@@ -1,0 +1,179 @@
+package support
+
+import (
+	"testing"
+
+	"paso/internal/paging"
+	"paso/internal/workload"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(&LRF{}, 2, 3, nil, 1); err == nil {
+		t.Error("λ+1 > n should fail")
+	}
+	if _, err := Simulate(&LRF{}, 3, 1, []int{9}, 1); err == nil {
+		t.Error("unknown machine should fail")
+	}
+}
+
+func TestNonMemberFailuresAreFree(t *testing.T) {
+	// n=5, λ=1: wg = {1,2}. Failures of 3,4,5 cost nothing.
+	res, err := Simulate(&LRF{}, 5, 1, []int{3, 4, 5, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replacements != 0 || res.CopyCost != 0 {
+		t.Fatalf("res = %+v, want no replacements", res)
+	}
+	if res.Failures != 4 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+}
+
+func TestMemberFailureCostsOneCopy(t *testing.T) {
+	res, err := Simulate(&LRF{}, 5, 1, []int{1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replacements != 1 || res.CopyCost != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDegenerateNEqualsLambdaPlusOne(t *testing.T) {
+	// Every machine is in wg: failures always replace with the revived
+	// machine itself.
+	res, err := Simulate(&LRF{}, 3, 2, []int{1, 2, 3, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replacements != 4 {
+		t.Fatalf("res = %+v, want 4 replacements", res)
+	}
+}
+
+func TestAllSelectorsProduceValidRuns(t *testing.T) {
+	failures := workload.UniformFailures(8, 2000, 3)
+	for _, sel := range []Selector{&LRF{}, &MRF{}, &Random{Seed: 1}, &RoundRobin{}, &Offline{}} {
+		res, err := Simulate(sel, 8, 2, failures, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", sel.Name(), err)
+		}
+		if res.Failures != 2000 {
+			t.Fatalf("%s: failures = %d", sel.Name(), res.Failures)
+		}
+		if res.Replacements < 1 {
+			t.Fatalf("%s: no replacements on a long trace", sel.Name())
+		}
+	}
+}
+
+func TestOfflineNeverWorseThanOnline(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		failures := workload.UniformFailures(10, 3000, seed)
+		opt, err := Simulate(&Offline{}, 10, 2, failures, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sel := range []Selector{&LRF{}, &MRF{}, &Random{Seed: seed}, &RoundRobin{}} {
+			res, err := Simulate(sel, 10, 2, failures, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Replacements < opt.Replacements {
+				t.Fatalf("seed %d: %s (%d) beat offline OPT (%d)",
+					seed, sel.Name(), res.Replacements, opt.Replacements)
+			}
+		}
+	}
+}
+
+// TestTheorem4ReductionLRFEqualsLRU verifies the reduction numerically:
+// LRF's replacement count on a failure trace equals LRU's fault count on
+// the same trace viewed as page references with cache size n−λ−1, up to
+// the initial-state difference (the support simulation starts with a full
+// "cache", paging starts empty: at most n−λ−1 extra paging cold misses).
+func TestTheorem4ReductionLRFEqualsLRU(t *testing.T) {
+	n, lambda := 9, 2
+	k := n - lambda - 1
+	for seed := int64(0); seed < 8; seed++ {
+		failures := workload.UniformFailures(n, 4000, seed)
+		res, err := Simulate(&LRF{}, n, lambda, failures, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lruFaults := (paging.LRU{}).Run(failures, k)
+		diff := lruFaults - res.Replacements
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > k {
+			t.Errorf("seed %d: LRF replacements %d vs LRU faults %d (diff %d > k=%d)",
+				seed, res.Replacements, lruFaults, diff, k)
+		}
+	}
+}
+
+// TestTheorem4AdversarialSeparation shows the deterministic lower bound in
+// action: on the round-robin adversary over n−λ machines, LRF replaces on
+// (almost) every member failure while the offline optimum replaces ~1 in
+// n−λ−1 — the Ω(n−λ−1) separation.
+func TestTheorem4AdversarialSeparation(t *testing.T) {
+	n, lambda := 10, 1
+	k := n - lambda - 1 // 8
+	failures := workload.RoundRobinFailures(k+1, 4000)
+	lrf, err := Simulate(&LRF{}, n, lambda, failures, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Simulate(&Offline{}, n, lambda, failures, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(lrf.Replacements) / float64(opt.Replacements)
+	if ratio < float64(k)*0.5 {
+		t.Errorf("adversarial separation ratio %.2f, want Ω(k) with k=%d (lrf=%d opt=%d)",
+			ratio, k, lrf.Replacements, opt.Replacements)
+	}
+}
+
+// TestLRFBeatsMRFOnFlakyMachines validates the paper's plausibility
+// argument for LRF: when some machines are chronically flaky (Zipf
+// failures), choosing the least recently failed machine avoids them.
+func TestLRFBeatsMRFOnFlakyMachines(t *testing.T) {
+	failures := workload.ZipfFailures(10, 5000, 1.4, 7)
+	lrf, err := Simulate(&LRF{}, 10, 2, failures, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrf, err := Simulate(&MRF{}, 10, 2, failures, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrf.Replacements >= mrf.Replacements {
+		t.Errorf("LRF (%d) did not beat MRF (%d) on flaky-machine trace",
+			lrf.Replacements, mrf.Replacements)
+	}
+}
+
+func TestCopyCostScalesWithClassSize(t *testing.T) {
+	failures := workload.UniformFailures(6, 500, 1)
+	small, _ := Simulate(&LRF{}, 6, 1, failures, 10)
+	big, _ := Simulate(&LRF{}, 6, 1, failures, 1000)
+	if small.Replacements != big.Replacements {
+		t.Fatal("copy cost must not affect decisions")
+	}
+	if big.CopyCost != 100*small.CopyCost {
+		t.Errorf("copy cost scaling wrong: %v vs %v", big.CopyCost, small.CopyCost)
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, sel := range []Selector{&LRF{}, &MRF{}, &Random{}, &RoundRobin{}, &Offline{}} {
+		names[sel.Name()] = true
+	}
+	if len(names) != 5 {
+		t.Errorf("duplicate selector names: %v", names)
+	}
+}

@@ -1,0 +1,93 @@
+package transport
+
+import "sync"
+
+// Mailbox is an unbounded FIFO queue bridging asynchronous senders to a
+// channel-based receiver. Network semantics require sends to never block on
+// slow receivers (a LAN does not exert backpressure on the sender's peer);
+// the queue is bounded in practice by the workload in flight.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Item
+	closed bool
+	out    chan Item
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewMailbox creates a mailbox and starts its pump goroutine. Call Close to
+// stop the pump and close the output channel.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{
+		out:  make(chan Item),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	go m.pump()
+	return m
+}
+
+// Put enqueues an item. Put on a closed mailbox is a no-op.
+func (m *Mailbox) Put(it Item) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, it)
+	m.cond.Signal()
+}
+
+// Out returns the delivery channel. It is closed after Close once the pump
+// exits.
+func (m *Mailbox) Out() <-chan Item { return m.out }
+
+// Len returns the number of queued, undelivered items.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Close stops the mailbox; pending undelivered items are discarded (a
+// crashed machine loses its queue). Close blocks until the pump exits and
+// is idempotent.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.queue = nil
+		close(m.stop)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+	<-m.done
+}
+
+func (m *Mailbox) pump() {
+	defer close(m.done)
+	defer close(m.out)
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		it := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+
+		// Deliver outside the lock so Put never waits on the consumer;
+		// bail out if Close races with a consumer that stopped reading.
+		select {
+		case m.out <- it:
+		case <-m.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+	for i := 0; i < 100; i++ {
+		m.Put(Item{Kind: KindMsg, From: NodeID(i)})
+	}
+	for i := 0; i < 100; i++ {
+		it := <-m.Out()
+		if it.From != NodeID(i) {
+			t.Fatalf("got %d, want %d", it.From, i)
+		}
+	}
+}
+
+func TestMailboxPutNeverBlocks(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			m.Put(Item{Kind: KindMsg})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put blocked with no consumer")
+	}
+	if m.Len() == 0 {
+		t.Error("queue should hold items")
+	}
+}
+
+func TestMailboxCloseClosesOut(t *testing.T) {
+	m := NewMailbox()
+	m.Put(Item{Kind: KindMsg})
+	m.Close()
+	// Drain: channel must be closed (possibly after delivering buffered
+	// items that raced with Close).
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-m.Out():
+			if !ok {
+				return
+			}
+		case <-timeout:
+			t.Fatal("Out never closed")
+		}
+	}
+}
+
+func TestMailboxCloseIdempotent(t *testing.T) {
+	m := NewMailbox()
+	m.Close()
+	m.Close() // must not panic or hang
+	m.Put(Item{Kind: KindMsg})
+	if m.Len() != 0 {
+		t.Error("Put after Close enqueued")
+	}
+}
+
+func TestMailboxCloseWithStuckConsumer(t *testing.T) {
+	m := NewMailbox()
+	m.Put(Item{Kind: KindMsg})
+	m.Put(Item{Kind: KindMsg})
+	// Nobody reads Out; the pump is blocked delivering item 1.
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		m.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with stuck consumer")
+	}
+}
+
+func TestItemKindString(t *testing.T) {
+	if KindMsg.String() != "msg" || KindUp.String() != "up" || KindDown.String() != "down" {
+		t.Error("kind names wrong")
+	}
+	if ItemKind(0).String() != "invalid" {
+		t.Error("zero kind should be invalid")
+	}
+}

@@ -1,0 +1,360 @@
+// Package tcp implements the transport.Endpoint contract over real TCP
+// sockets, for deployments where each PASO machine is a separate OS
+// process (cmd/pasod). It provides what the group layer requires:
+//
+//   - reliable FIFO delivery per sender pair (one TCP connection per
+//     direction; a reconnect counts as the old messages being lost, which
+//     the crash model already tolerates);
+//   - an Up event for a peer delivered before any of its messages (the
+//     hello frame precedes data on every connection);
+//   - Down events from a heartbeat failure detector.
+//
+// Frame format: 4-byte little-endian length, 8-byte sender id, payload.
+// A frame with empty payload is a heartbeat/hello.
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"paso/internal/transport"
+)
+
+// Options tunes the failure detector.
+type Options struct {
+	// HeartbeatInterval is how often idle connections send heartbeats.
+	// Default 50ms.
+	HeartbeatInterval time.Duration
+	// FailTimeout is how long a silent peer stays "up". Default 4×
+	// heartbeat.
+	FailTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if o.FailTimeout <= 0 {
+		o.FailTimeout = 4 * o.HeartbeatInterval
+	}
+	return o
+}
+
+// Endpoint is a TCP attachment to the PASO network.
+type Endpoint struct {
+	id   transport.NodeID
+	opts Options
+	ln   net.Listener
+	mbox *transport.Mailbox
+
+	mu       sync.Mutex
+	peers    map[transport.NodeID]*peer
+	lastSeen map[transport.NodeID]time.Time
+	up       map[transport.NodeID]bool
+	closed   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// peer is the outgoing side of a link.
+type peer struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen starts an endpoint accepting frames on addr (use "127.0.0.1:0"
+// to pick a free port; Addr reports the actual address). Peers are added
+// with AddPeer.
+func Listen(id transport.NodeID, addr string, opts Options) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
+	}
+	e := &Endpoint{
+		id:       id,
+		opts:     opts.withDefaults(),
+		ln:       ln,
+		mbox:     transport.NewMailbox(),
+		peers:    make(map[transport.NodeID]*peer),
+		lastSeen: make(map[transport.NodeID]time.Time),
+		up:       make(map[transport.NodeID]bool),
+		stop:     make(chan struct{}),
+	}
+	e.wg.Add(2)
+	go e.acceptLoop()
+	go e.detectorLoop()
+	return e, nil
+}
+
+// Addr returns the listener's address.
+func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+
+// AddPeer registers a peer's dial address and starts heartbeating it.
+func (e *Endpoint) AddPeer(id transport.NodeID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.peers[id]; exists || id == e.id {
+		return
+	}
+	p := &peer{addr: addr}
+	e.peers[id] = p
+	e.wg.Add(1)
+	go e.heartbeatLoop(id, p)
+}
+
+// ID implements transport.Endpoint.
+func (e *Endpoint) ID() transport.NodeID { return e.id }
+
+// Recv implements transport.Endpoint.
+func (e *Endpoint) Recv() <-chan transport.Item { return e.mbox.Out() }
+
+// Alive implements transport.Endpoint.
+func (e *Endpoint) Alive() []transport.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := []transport.NodeID{e.id}
+	for id, isUp := range e.up {
+		if isUp {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// Send implements transport.Endpoint. Sending to an unknown or down peer
+// silently drops, as on a LAN.
+func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if to == e.id {
+		// Loopback short-circuits the socket (a machine does not occupy
+		// the wire to talk to itself).
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		e.mu.Unlock()
+		e.mbox.Put(transport.Item{Kind: transport.KindMsg, From: e.id, Payload: cp})
+		return nil
+	}
+	p := e.peers[to]
+	e.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	if err := e.writeTo(p, payload); err != nil {
+		// One retry after a fresh dial: the previous connection may have
+		// died while idle.
+		if err := e.writeTo(p, payload); err != nil {
+			return nil // peer unreachable: dropped frame, detector handles it
+		}
+	}
+	return nil
+}
+
+// writeTo sends one frame on the peer's connection, dialing if needed.
+func (e *Endpoint) writeTo(p *peer, payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		conn, err := net.DialTimeout("tcp", p.addr, time.Second)
+		if err != nil {
+			return err
+		}
+		p.conn = conn
+		// Hello frame: announces our identity before any data.
+		if err := writeFrame(conn, e.id, nil); err != nil {
+			conn.Close()
+			p.conn = nil
+			return err
+		}
+	}
+	if err := writeFrame(p.conn, e.id, payload); err != nil {
+		p.conn.Close()
+		p.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Close implements transport.Endpoint.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.stop)
+	peers := make([]*peer, 0, len(e.peers))
+	for _, p := range e.peers {
+		peers = append(peers, p)
+	}
+	e.mu.Unlock()
+	e.ln.Close()
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	e.wg.Wait()
+	e.mbox.Close()
+	return nil
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+// readLoop consumes frames from one incoming connection. The first frame
+// is the hello carrying the sender's identity; an Up event is emitted
+// before any data from that sender.
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	var from transport.NodeID
+	first := true
+	for {
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(e.opts.FailTimeout * 2))
+		sender, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if first {
+			from = sender
+			first = false
+		}
+		e.markSeen(from)
+		if len(payload) > 0 {
+			e.mbox.Put(transport.Item{Kind: transport.KindMsg, From: from, Payload: payload})
+		}
+	}
+}
+
+// markSeen refreshes the failure detector and emits Up on transitions.
+func (e *Endpoint) markSeen(id transport.NodeID) {
+	e.mu.Lock()
+	wasUp := e.up[id]
+	e.up[id] = true
+	e.lastSeen[id] = time.Now()
+	e.mu.Unlock()
+	if !wasUp {
+		e.mbox.Put(transport.Item{Kind: transport.KindUp, From: id})
+	}
+}
+
+// heartbeatLoop keeps one outgoing link warm.
+func (e *Endpoint) heartbeatLoop(id transport.NodeID, p *peer) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			_ = e.writeTo(p, nil) // heartbeat; errors handled by detector
+		}
+	}
+}
+
+// detectorLoop expires silent peers.
+func (e *Endpoint) detectorLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			var downs []transport.NodeID
+			e.mu.Lock()
+			for id, isUp := range e.up {
+				if isUp && now.Sub(e.lastSeen[id]) > e.opts.FailTimeout {
+					e.up[id] = false
+					downs = append(downs, id)
+				}
+			}
+			e.mu.Unlock()
+			for _, id := range downs {
+				e.mbox.Put(transport.Item{Kind: transport.KindDown, From: id})
+			}
+		}
+	}
+}
+
+// --- framing ---
+
+const maxFrame = 64 << 20 // 64 MiB: state transfers can be large
+
+func writeFrame(w io.Writer, from transport.NodeID, payload []byte) error {
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(from))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (transport.NodeID, []byte, error) {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	from := transport.NodeID(binary.LittleEndian.Uint64(hdr[4:]))
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)
+	}
+	if n == 0 {
+		return from, nil, nil
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return from, payload, nil
+}
+
+func sortIDs(ids []transport.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package transport defines the point-to-point messaging abstraction the
+// virtual-synchrony layer is built on (paper §3).
+//
+// A transport connects a set of nodes. Each node owns an Endpoint through
+// which it sends byte payloads to peers and receives an ordered stream of
+// items: incoming messages interleaved with node-up/node-down events from
+// the failure detector. Delivering membership events in the same stream as
+// messages lets the group layer order view changes against message traffic,
+// which is the heart of virtual synchrony.
+//
+// Two implementations exist: the simulated bus LAN in package simnet
+// (deterministic, cost-metered, crash/restart by API call) and a TCP
+// transport in package tcp (real sockets, heartbeat failure detection).
+package transport
+
+import "errors"
+
+// NodeID identifies a machine on the network. IDs are small positive
+// integers; the group layer uses "lowest live ID" as its coordinator rule.
+type NodeID uint64
+
+// ItemKind discriminates the entries of an endpoint's receive stream.
+type ItemKind int
+
+// Receive-stream item kinds.
+const (
+	// KindMsg is an application payload from a peer.
+	KindMsg ItemKind = iota + 1
+	// KindUp reports that a node joined (or rejoined) the network.
+	KindUp
+	// KindDown reports that a node crashed or left the network.
+	KindDown
+)
+
+// String names the kind.
+func (k ItemKind) String() string {
+	switch k {
+	case KindMsg:
+		return "msg"
+	case KindUp:
+		return "up"
+	case KindDown:
+		return "down"
+	default:
+		return "invalid"
+	}
+}
+
+// Item is one entry in an endpoint's ordered receive stream.
+type Item struct {
+	Kind ItemKind
+	// From is the sending node for KindMsg, or the subject node for
+	// KindUp/KindDown.
+	From NodeID
+	// Payload is the message body for KindMsg, nil otherwise.
+	Payload []byte
+}
+
+// Common transport errors.
+var (
+	// ErrClosed is returned by operations on a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnknownPeer is returned when sending to a node that was never
+	// part of the network.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+)
+
+// Endpoint is one node's attachment to the network. Send never blocks on
+// the receiver; delivery is asynchronous and reliable FIFO per sender pair
+// while both nodes stay up.
+type Endpoint interface {
+	// ID returns this node's identity.
+	ID() NodeID
+	// Send transmits payload to the peer. Sending to a down node is not
+	// an error; the message is silently dropped (as on a real LAN).
+	Send(to NodeID, payload []byte) error
+	// Recv returns the ordered receive stream. The channel is closed when
+	// the endpoint closes.
+	Recv() <-chan Item
+	// Alive returns the set of currently-live nodes as known to the local
+	// failure detector, including this node.
+	Alive() []NodeID
+	// Close detaches from the network and releases resources.
+	Close() error
+}

@@ -1,0 +1,204 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary codec for tuples and templates. The format is a simple
+// length-delimited little-endian encoding; it is the wire format used by
+// both the in-process and TCP transports so message sizes are identical in
+// simulation and deployment.
+
+// ErrCorrupt is returned when decoding runs off the end of the buffer or
+// meets an unknown tag.
+var ErrCorrupt = errors.New("tuple: corrupt encoding")
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func encodeValue(e *encoder, v Value) {
+	e.u8(uint8(v.kind))
+	switch v.kind {
+	case KindInt:
+		e.u64(uint64(v.i))
+	case KindFloat:
+		e.u64(math.Float64bits(v.f))
+	case KindString:
+		e.bytes([]byte(v.s))
+	case KindBool:
+		if v.b {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case KindBytes:
+		e.bytes(v.by)
+	}
+}
+
+func decodeValue(d *decoder) Value {
+	k := Kind(d.u8())
+	switch k {
+	case KindInt:
+		return Int(int64(d.u64()))
+	case KindFloat:
+		return Float(math.Float64frombits(d.u64()))
+	case KindString:
+		return String(string(d.bytes()))
+	case KindBool:
+		return Bool(d.u8() != 0)
+	case KindBytes:
+		return Bytes(d.bytes())
+	default:
+		d.fail()
+		return Value{}
+	}
+}
+
+// EncodeTuple serializes a tuple, identity included.
+func EncodeTuple(t Tuple) []byte {
+	e := &encoder{buf: make([]byte, 0, t.Size())}
+	e.u64(t.id.Origin)
+	e.u64(t.id.Seq)
+	e.u16(uint16(len(t.fields)))
+	for _, f := range t.fields {
+		encodeValue(e, f)
+	}
+	return e.buf
+}
+
+// DecodeTuple deserializes a tuple produced by EncodeTuple.
+func DecodeTuple(b []byte) (Tuple, error) {
+	d := &decoder{buf: b}
+	id := ID{Origin: d.u64(), Seq: d.u64()}
+	n := int(d.u16())
+	fields := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		fields = append(fields, decodeValue(d))
+	}
+	if d.err != nil {
+		return Tuple{}, fmt.Errorf("decode tuple: %w", d.err)
+	}
+	return Tuple{id: id, fields: fields}, nil
+}
+
+// EncodeTemplate serializes a template.
+func EncodeTemplate(tp Template) []byte {
+	e := &encoder{buf: make([]byte, 0, tp.Size())}
+	e.u16(uint16(len(tp.matchers)))
+	for _, m := range tp.matchers {
+		e.u8(uint8(m.Op))
+		e.u8(uint8(m.Kind))
+		flags := uint8(0)
+		if m.A.IsValid() {
+			flags |= 1
+		}
+		if m.B.IsValid() {
+			flags |= 2
+		}
+		e.u8(flags)
+		if m.A.IsValid() {
+			encodeValue(e, m.A)
+		}
+		if m.B.IsValid() {
+			encodeValue(e, m.B)
+		}
+	}
+	return e.buf
+}
+
+// DecodeTemplate deserializes a template produced by EncodeTemplate.
+func DecodeTemplate(b []byte) (Template, error) {
+	d := &decoder{buf: b}
+	n := int(d.u16())
+	ms := make([]Matcher, 0, n)
+	for i := 0; i < n; i++ {
+		m := Matcher{Op: MatchOp(d.u8()), Kind: Kind(d.u8())}
+		flags := d.u8()
+		if flags&1 != 0 {
+			m.A = decodeValue(d)
+		}
+		if flags&2 != 0 {
+			m.B = decodeValue(d)
+		}
+		ms = append(ms, m)
+	}
+	if d.err != nil {
+		return Template{}, fmt.Errorf("decode template: %w", d.err)
+	}
+	return Template{matchers: ms}, nil
+}

@@ -1,0 +1,184 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatcherMatches(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Matcher
+		v    Value
+		want bool
+	}{
+		{"any int ok", Any(KindInt), Int(5), true},
+		{"any int wrong kind", Any(KindInt), String("5"), false},
+		{"eq ok", Eq(Int(5)), Int(5), true},
+		{"eq ne", Eq(Int(5)), Int(6), false},
+		{"ne ok", Ne(Int(5)), Int(6), true},
+		{"ne self", Ne(Int(5)), Int(5), false},
+		{"ne wrong kind", Ne(Int(5)), String("x"), false},
+		{"range inside", Range(Int(1), Int(10)), Int(5), true},
+		{"range lo edge", Range(Int(1), Int(10)), Int(1), true},
+		{"range hi edge", Range(Int(1), Int(10)), Int(10), true},
+		{"range below", Range(Int(1), Int(10)), Int(0), false},
+		{"range above", Range(Int(1), Int(10)), Int(11), false},
+		{"range float", Range(Float(0.5), Float(1.5)), Float(1.0), true},
+		{"range string", Range(String("a"), String("c")), String("b"), true},
+		{"prefix ok", Prefix("ab"), String("abc"), true},
+		{"prefix no", Prefix("ab"), String("ba"), false},
+		{"prefix wrong kind", Prefix("ab"), Int(1), false},
+		{"contains ok", Contains("bc"), String("abcd"), true},
+		{"contains no", Contains("xy"), String("abcd"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m.Matches(tt.v); got != tt.want {
+				t.Errorf("%v.Matches(%v) = %v, want %v", tt.m, tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTemplateMatches(t *testing.T) {
+	tp := NewTemplate(Eq(String("task")), Any(KindInt), Range(Int(0), Int(9)))
+	tests := []struct {
+		name string
+		tu   Tuple
+		want bool
+	}{
+		{"match", Make(String("task"), Int(77), Int(5)), true},
+		{"wrong name", Make(String("done"), Int(77), Int(5)), false},
+		{"wrong arity short", Make(String("task"), Int(77)), false},
+		{"wrong arity long", Make(String("task"), Int(77), Int(5), Int(0)), false},
+		{"range out", Make(String("task"), Int(77), Int(10)), false},
+		{"kind mismatch", Make(String("task"), Float(77), Int(5)), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tp.Matches(tt.tu); got != tt.want {
+				t.Errorf("Matches(%v) = %v, want %v", tt.tu, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMatchTupleRoundTrip(t *testing.T) {
+	tu := Make(String("a"), Int(1), Bool(true), Float(2.5), Bytes([]byte{7}))
+	tp := MatchTuple(tu)
+	if !tp.Matches(tu) {
+		t.Fatal("MatchTuple template should match its source")
+	}
+	other := Make(String("a"), Int(2), Bool(true), Float(2.5), Bytes([]byte{7}))
+	if tp.Matches(other) {
+		t.Fatal("MatchTuple matched a different tuple")
+	}
+}
+
+func TestTemplateName(t *testing.T) {
+	if name, ok := NewTemplate(Eq(String("x")), Any(KindInt)).Name(); !ok || name != "x" {
+		t.Errorf("Name = %q, %v", name, ok)
+	}
+	if _, ok := NewTemplate(Any(KindString)).Name(); ok {
+		t.Error("formal first field should not have a name")
+	}
+	if _, ok := NewTemplate().Name(); ok {
+		t.Error("empty template should not have a name")
+	}
+	if _, ok := NewTemplate(Eq(Int(1))).Name(); ok {
+		t.Error("int first field should not have a name")
+	}
+}
+
+// genValue produces a random valid Value for property tests.
+func genValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Int(r.Int63() - r.Int63())
+	case 1:
+		return Float(r.NormFloat64())
+	case 2:
+		b := make([]byte, r.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return String(string(b))
+	case 3:
+		return Bool(r.Intn(2) == 0)
+	default:
+		b := make([]byte, r.Intn(12))
+		r.Read(b)
+		return Bytes(b)
+	}
+}
+
+func genTuple(r *rand.Rand) Tuple {
+	fields := make([]Value, r.Intn(6))
+	for i := range fields {
+		fields[i] = genValue(r)
+	}
+	return New(ID{Origin: r.Uint64(), Seq: r.Uint64()}, fields...)
+}
+
+// randomTuple adapts genTuple to testing/quick.
+type randomTuple struct{ T Tuple }
+
+// Generate implements quick.Generator.
+func (randomTuple) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomTuple{T: genTuple(r)})
+}
+
+func TestPropertyEqTemplateAlwaysMatchesSource(t *testing.T) {
+	f := func(rt randomTuple) bool {
+		return MatchTuple(rt.T).Matches(rt.T)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAnyTemplateMatchesSameShape(t *testing.T) {
+	f := func(rt randomTuple) bool {
+		ms := make([]Matcher, rt.T.Arity())
+		for i := range ms {
+			ms[i] = Any(rt.T.Field(i).Kind())
+		}
+		return NewTemplate(ms...).Matches(rt.T)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTemplateSizeAndString(t *testing.T) {
+	tp := NewTemplate(Eq(String("task")), Any(KindInt))
+	if tp.Size() <= 0 {
+		t.Error("template size should be positive")
+	}
+	if tp.String() == "" {
+		t.Error("template String should be non-empty")
+	}
+	if got := Any(KindInt).String(); got != "?int" {
+		t.Errorf("Any String = %q", got)
+	}
+	if got := Range(Int(1), Int(2)).String(); got != "[1..2]" {
+		t.Errorf("Range String = %q", got)
+	}
+}
+
+func TestTemplateMatchersCopied(t *testing.T) {
+	ms := []Matcher{Eq(Int(1))}
+	tp := NewTemplate(ms...)
+	ms[0] = Eq(Int(2))
+	if !tp.Matcher(0).A.Equal(Int(1)) {
+		t.Error("NewTemplate aliased input")
+	}
+	out := tp.Matchers()
+	out[0] = Eq(Int(3))
+	if !tp.Matcher(0).A.Equal(Int(1)) {
+		t.Error("Matchers returned aliased slice")
+	}
+}

@@ -1,0 +1,154 @@
+package tuple
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIDGenUnique(t *testing.T) {
+	g := NewIDGen(7)
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if id.Origin != 7 {
+			t.Fatalf("origin = %d, want 7", id.Origin)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestIDGenConcurrent(t *testing.T) {
+	g := NewIDGen(1)
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[ID]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ID, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate id %v", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIDOrdering(t *testing.T) {
+	a := ID{Origin: 1, Seq: 5}
+	b := ID{Origin: 1, Seq: 6}
+	c := ID{Origin: 2, Seq: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("seq ordering broken")
+	}
+	if !b.Less(c) || c.Less(b) {
+		t.Error("origin ordering broken")
+	}
+	if a.Less(a) {
+		t.Error("irreflexivity broken")
+	}
+}
+
+func TestIDZeroAndString(t *testing.T) {
+	if !(ID{}).IsZero() {
+		t.Error("zero ID should be zero")
+	}
+	if (ID{Origin: 1}).IsZero() {
+		t.Error("non-zero ID reported zero")
+	}
+	if got := (ID{Origin: 3, Seq: 9}).String(); got != "3:9" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	tu := Make(String("point"), Int(3), Float(4.5))
+	if tu.Arity() != 3 {
+		t.Fatalf("arity = %d", tu.Arity())
+	}
+	if tu.Name() != "point" {
+		t.Errorf("name = %q", tu.Name())
+	}
+	if !tu.Field(1).Equal(Int(3)) {
+		t.Error("field 1 mismatch")
+	}
+	if !tu.ID().IsZero() {
+		t.Error("Make should not assign an ID")
+	}
+	stamped := tu.WithID(ID{Origin: 1, Seq: 1})
+	if stamped.ID().IsZero() {
+		t.Error("WithID did not stamp")
+	}
+	if !stamped.Equal(tu) {
+		t.Error("WithID changed contents")
+	}
+}
+
+func TestTupleNameNonString(t *testing.T) {
+	if got := Make(Int(1)).Name(); got != "" {
+		t.Errorf("Name = %q, want empty", got)
+	}
+	if got := Make().Name(); got != "" {
+		t.Errorf("empty tuple Name = %q", got)
+	}
+}
+
+func TestTupleFieldsCopied(t *testing.T) {
+	fields := []Value{Int(1), Int(2)}
+	tu := Make(fields...)
+	fields[0] = Int(99)
+	if !tu.Field(0).Equal(Int(1)) {
+		t.Error("constructor aliased input slice")
+	}
+	out := tu.Fields()
+	out[1] = Int(98)
+	if !tu.Field(1).Equal(Int(2)) {
+		t.Error("Fields returned aliased slice")
+	}
+}
+
+func TestTupleEqual(t *testing.T) {
+	a := Make(String("x"), Int(1))
+	b := Make(String("x"), Int(1))
+	c := Make(String("x"), Int(2))
+	d := Make(String("x"))
+	if !a.Equal(b) {
+		t.Error("equal tuples reported unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("unequal tuples reported equal")
+	}
+	// Identity excluded from Equal.
+	if !a.WithID(ID{Origin: 1, Seq: 1}).Equal(b.WithID(ID{Origin: 2, Seq: 2})) {
+		t.Error("identity should not affect Equal")
+	}
+}
+
+func TestTupleSizeMonotone(t *testing.T) {
+	small := Make(String("a"))
+	big := Make(String("a"), Bytes(make([]byte, 100)))
+	if big.Size() <= small.Size() {
+		t.Errorf("Size: big=%d small=%d", big.Size(), small.Size())
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := New(ID{Origin: 1, Seq: 2}, String("t"), Int(5))
+	want := `(1:2)["t", 5]`
+	if got := tu.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

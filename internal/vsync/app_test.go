@@ -1,0 +1,24 @@
+package vsync
+
+import (
+	"testing"
+)
+
+func TestSendAppDelivered(t *testing.T) {
+	h := newHarness(t, 1, 2)
+	if err := h.nds[1].SendApp(2, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "app message", func() bool {
+		got := h.hs[2].log("_app")
+		return len(got) == 1 && got[0] == "1:ping"
+	})
+}
+
+func TestSendAppToDeadNodeNoError(t *testing.T) {
+	h := newHarness(t, 1, 2)
+	h.crash(2)
+	if err := h.nds[1].SendApp(2, []byte("void")); err != nil {
+		t.Fatalf("SendApp to dead node: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package vsync
+
+import (
+	"fmt"
+	"testing"
+
+	"paso/internal/cost"
+	"paso/internal/simnet"
+	"paso/internal/transport"
+)
+
+// benchGroup spins up n nodes all joined to one group.
+func benchGroup(b *testing.B, n int) []*Node {
+	b.Helper()
+	net := simnet.New(cost.DefaultModel())
+	nodes := make([]*Node, 0, n)
+	for i := 1; i <= n; i++ {
+		ep, err := net.Join(transport.NodeID(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nd := NewNode(ep, newTestHandler())
+		nodes = append(nodes, nd)
+	}
+	b.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	for _, nd := range nodes {
+		if err := nd.Join("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return nodes
+}
+
+func benchGcast(b *testing.B, n int) {
+	nodes := benchGroup(b, n)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := nodes[n-1].Gcast("bench", payload)
+		if err != nil || res.Fail {
+			b.Fatal(err, res.Fail)
+		}
+	}
+}
+
+func BenchmarkGcastGroup2(b *testing.B) { benchGcast(b, 2) }
+func BenchmarkGcastGroup4(b *testing.B) { benchGcast(b, 4) }
+func BenchmarkGcastGroup8(b *testing.B) { benchGcast(b, 8) }
+
+// BenchmarkGcastPipelined measures throughput with 8 concurrent issuers.
+func BenchmarkGcastPipelined(b *testing.B) {
+	nodes := benchGroup(b, 4)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	b.SetParallelism(2)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := nodes[0].Gcast("bench", payload)
+			if err != nil || res.Fail {
+				b.Fatal(err, res.Fail)
+			}
+		}
+	})
+}
+
+// BenchmarkJoinWithState measures g-join cost as a function of group state
+// size (the O(ℓ) transfer of §5).
+func BenchmarkJoinWithState(b *testing.B) {
+	for _, entries := range []int{10, 1000} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			nodes := benchGroup(b, 2)
+			for i := 0; i < entries; i++ {
+				if _, err := nodes[0].Gcast("bench", []byte(fmt.Sprintf("e%d", i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := nodes[1].Leave("bench"); err != nil {
+					b.Fatal(err)
+				}
+				if err := nodes[1].Join("bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,424 @@
+package vsync
+
+import (
+	"paso/internal/transport"
+)
+
+// coordState is the sequencing state held by the current coordinator (the
+// lowest-ID live node). It exists only on that node and is rebuilt from
+// survivors after a coordinator crash.
+type coordState struct {
+	groups     map[string]*coordGroup
+	recovering bool
+	syncWait   map[transport.NodeID]bool
+	reports    map[transport.NodeID]map[string]syncInfo
+	queued     []queuedReq
+}
+
+// coordGroup is the coordinator's authoritative record for one group.
+type coordGroup struct {
+	members []transport.NodeID
+	nextSeq uint64
+	pending map[uint64]*pendingCast
+}
+
+// pendingCast tracks response gathering for one ordered data event.
+type pendingCast struct {
+	origin  transport.NodeID
+	reqID   uint64
+	waiting map[transport.NodeID]bool
+	resp    []byte
+	fail    bool
+	size    int
+}
+
+type queuedReq struct {
+	from transport.NodeID
+	w    *wire
+}
+
+// becomeCoordinator initializes sequencing state when this node becomes the
+// lowest live node. With peers present the state must be recovered from
+// them; alone, this node's own group views seed the state directly.
+func (n *Node) becomeCoordinator() {
+	cs := &coordState{
+		groups:  make(map[string]*coordGroup),
+		reports: make(map[transport.NodeID]map[string]syncInfo),
+	}
+	n.cs = cs
+	peers := make([]transport.NodeID, 0, len(n.live))
+	for id := range n.live {
+		if id != n.self {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) == 0 {
+		for name, g := range n.groups {
+			if !g.active {
+				continue
+			}
+			cs.groups[name] = &coordGroup{
+				members: []transport.NodeID{n.self},
+				nextSeq: g.last + 1,
+				pending: make(map[uint64]*pendingCast),
+			}
+		}
+		return
+	}
+	cs.recovering = true
+	cs.syncWait = make(map[transport.NodeID]bool, len(peers))
+	for _, p := range peers {
+		cs.syncWait[p] = true
+		n.send(p, &wire{Type: tSync})
+	}
+	// Record our own facts immediately.
+	own := make(map[string]syncInfo, len(n.groups))
+	for name, g := range n.groups {
+		if g.active {
+			own[name] = syncInfo{Member: true, Last: g.last}
+		}
+	}
+	cs.reports[n.self] = own
+}
+
+// coordSyncInfo records a node's group report: during recovery it counts
+// toward the survivor quorum; otherwise it is an unsolicited report from a
+// newly discovered node, merged against the established state.
+func (n *Node) coordSyncInfo(from transport.NodeID, w *wire) {
+	cs := n.cs
+	if cs == nil {
+		return
+	}
+	if cs.recovering && cs.syncWait[from] {
+		cs.reports[from] = w.Infos
+		delete(cs.syncWait, from)
+		if len(cs.syncWait) == 0 {
+			n.finishRecovery()
+		}
+		return
+	}
+	if cs.recovering {
+		// A report from outside the recovery quorum: fold it in as an
+		// extra claim set; finishRecovery filters by liveness anyway.
+		cs.reports[from] = w.Infos
+		return
+	}
+	n.mergeReport(from, w.Infos)
+}
+
+// mergeReport reconciles an unsolicited membership report with the
+// established group state:
+//
+//   - a claim for a group with no current members is adopted (the claimant
+//     is the last holder of that state — discarding it would lose data);
+//   - a claim from a node we do not count as a member, or whose delivery
+//     counter runs ahead of the group's sequence, comes from a divergent
+//     series (bootstrap split or post-eviction flap): the claimant is told
+//     to wipe and rejoin, receiving fresh state from a current member.
+func (n *Node) mergeReport(from transport.NodeID, infos map[string]syncInfo) {
+	cs := n.cs
+	for name, info := range infos {
+		if !info.Member {
+			continue
+		}
+		cg := cs.groups[name]
+		if cg == nil || len(cg.members) == 0 {
+			if cg == nil {
+				cg = &coordGroup{pending: make(map[uint64]*pendingCast)}
+				cs.groups[name] = cg
+			}
+			cg.members = []transport.NodeID{from}
+			cg.nextSeq = info.Last + 1
+			continue
+		}
+		if containsID(cg.members, from) && info.Last < cg.nextSeq {
+			continue // consistent member, possibly catching up
+		}
+		if containsID(cg.members, from) {
+			// Divergent series from a node we still count: stop counting
+			// it before telling it to wipe, or response gathering would
+			// wait forever on its acks.
+			n.evictMember(name, cg, from)
+		}
+		n.send(from, &wire{Type: tRestate, Group: name})
+	}
+}
+
+// evictMember removes a member coordinator-side, notifying the remaining
+// members and unblocking pending casts, without requiring the subject to
+// process the ordered event (its series may have diverged).
+func (n *Node) evictMember(name string, g *coordGroup, id transport.NodeID) {
+	g.members = removeID(g.members, id)
+	seq := g.nextSeq
+	g.nextSeq++
+	ordered := &wire{
+		Type:    tOrdered,
+		Group:   name,
+		Seq:     seq,
+		Event:   evDown,
+		Subject: nid(id),
+	}
+	for _, m := range g.members {
+		n.send(m, ordered)
+	}
+	n.dropFromPending(g, id)
+}
+
+// finishRecovery merges survivor reports into fresh sequencing state,
+// resynchronizes members that missed deliveries during the failover, and
+// replays queued requests.
+func (n *Node) finishRecovery() {
+	cs := n.cs
+	cs.recovering = false
+	type claim struct {
+		node transport.NodeID
+		last uint64
+	}
+	byGroup := make(map[string][]claim)
+	for node, infos := range cs.reports {
+		if !n.live[node] {
+			continue
+		}
+		for name, info := range infos {
+			if info.Member {
+				byGroup[name] = append(byGroup[name], claim{node: node, last: info.Last})
+			}
+		}
+	}
+	for name, claims := range byGroup {
+		g := &coordGroup{pending: make(map[uint64]*pendingCast)}
+		var donor transport.NodeID
+		var maxLast uint64
+		for _, c := range claims {
+			g.members = addID(g.members, c.node)
+			if c.last >= maxLast {
+				maxLast = c.last
+				donor = c.node
+			}
+		}
+		g.nextSeq = maxLast + 1
+		cs.groups[name] = g
+		for _, c := range claims {
+			if c.last < maxLast {
+				n.send(donor, &wire{Type: tResync, Group: name, Subject: nid(c.node)})
+			}
+		}
+	}
+	queued := cs.queued
+	cs.queued = nil
+	for _, q := range queued {
+		n.coordRequest(q.from, q.w)
+	}
+}
+
+// coordGroupFor returns (creating if needed) the coordinator record for a
+// group.
+func (n *Node) coordGroupFor(name string) *coordGroup {
+	g, ok := n.cs.groups[name]
+	if !ok {
+		g = &coordGroup{nextSeq: 1, pending: make(map[uint64]*pendingCast)}
+		n.cs.groups[name] = g
+	}
+	return g
+}
+
+// coordRequest handles a client request (cast, join, or leave) as
+// coordinator.
+func (n *Node) coordRequest(from transport.NodeID, w *wire) {
+	cs := n.cs
+	if cs == nil {
+		return // abdicated; the client will retransmit to the new coordinator
+	}
+	if cs.recovering {
+		cs.queued = append(cs.queued, queuedReq{from: from, w: w})
+		return
+	}
+	switch w.Type {
+	case tCastReq:
+		n.coordCast(w)
+	case tJoinReq:
+		n.coordJoin(w)
+	case tLeaveReq:
+		n.coordLeave(w)
+	}
+}
+
+func (n *Node) coordCast(w *wire) {
+	g, ok := n.cs.groups[w.Group]
+	if !ok || len(g.members) == 0 {
+		n.send(tid(w.Origin), &wire{Type: tReply, ReqID: w.ReqID, Fail: true})
+		return
+	}
+	seq := g.nextSeq
+	g.nextSeq++
+	pc := &pendingCast{
+		origin:  tid(w.Origin),
+		reqID:   w.ReqID,
+		waiting: make(map[transport.NodeID]bool, len(g.members)),
+		fail:    true,
+		size:    len(g.members),
+	}
+	for _, m := range g.members {
+		pc.waiting[m] = true
+	}
+	g.pending[seq] = pc
+	ordered := &wire{
+		Type:    tOrdered,
+		Group:   w.Group,
+		Seq:     seq,
+		Event:   evData,
+		ReqID:   w.ReqID,
+		Origin:  w.Origin,
+		Payload: w.Payload,
+	}
+	for _, m := range g.members {
+		n.send(m, ordered)
+	}
+}
+
+func (n *Node) coordJoin(w *wire) {
+	g := n.coordGroupFor(w.Group)
+	subject := tid(w.Subject)
+	var donor transport.NodeID
+	for _, m := range g.members {
+		if m != subject {
+			donor = m
+			break
+		}
+	}
+	g.members = addID(g.members, subject)
+	seq := g.nextSeq
+	g.nextSeq++
+	ordered := &wire{
+		Type:    tOrdered,
+		Group:   w.Group,
+		Seq:     seq,
+		Event:   evJoin,
+		Subject: w.Subject,
+		Donor:   nid(donor),
+		Payload: idsToWire(g.members),
+	}
+	for _, m := range g.members {
+		n.send(m, ordered)
+	}
+}
+
+func (n *Node) coordLeave(w *wire) {
+	g, ok := n.cs.groups[w.Group]
+	subject := tid(w.Subject)
+	if !ok || !containsID(g.members, subject) {
+		// Unknown membership (e.g. lost across a recovery): tell the
+		// client directly; it cleans up locally on this reply.
+		n.send(tid(w.Origin), &wire{Type: tReply, ReqID: w.ReqID})
+		return
+	}
+	seq := g.nextSeq
+	g.nextSeq++
+	ordered := &wire{
+		Type:    tOrdered,
+		Group:   w.Group,
+		Seq:     seq,
+		Event:   evLeave,
+		Subject: w.Subject,
+	}
+	recipients := append([]transport.NodeID(nil), g.members...)
+	g.members = removeID(g.members, subject)
+	for _, m := range recipients {
+		n.send(m, ordered)
+	}
+	// Evictions may complete pending casts that were waiting on the
+	// departed member.
+	n.dropFromPending(g, subject)
+}
+
+// coordAck records one member's response to an ordered data event.
+func (n *Node) coordAck(from transport.NodeID, w *wire) {
+	cs := n.cs
+	if cs == nil {
+		return
+	}
+	g, ok := cs.groups[w.Group]
+	if !ok {
+		return
+	}
+	pc, ok := g.pending[w.Seq]
+	if !ok || !pc.waiting[from] {
+		return
+	}
+	delete(pc.waiting, from)
+	if !w.Fail && pc.fail {
+		pc.resp = w.Payload
+		pc.fail = false
+	}
+	if len(pc.waiting) == 0 {
+		n.finishCast(g, w.Seq, pc)
+	}
+}
+
+func (n *Node) finishCast(g *coordGroup, seq uint64, pc *pendingCast) {
+	delete(g.pending, seq)
+	n.send(pc.origin, &wire{
+		Type:    tReply,
+		ReqID:   pc.reqID,
+		Payload: pc.resp,
+		Fail:    pc.fail,
+		Size:    pc.size,
+	})
+}
+
+// coordNodeDown evicts a crashed node from every group and unblocks
+// response gathering that was waiting on it.
+func (n *Node) coordNodeDown(dead transport.NodeID) {
+	cs := n.cs
+	if cs.recovering {
+		delete(cs.syncWait, dead)
+		if len(cs.syncWait) == 0 {
+			n.finishRecovery()
+			// fall through: the dead node may also appear in rebuilt groups
+		} else {
+			return
+		}
+	}
+	for name, g := range cs.groups {
+		if !containsID(g.members, dead) {
+			n.dropFromPending(g, dead)
+			continue
+		}
+		g.members = removeID(g.members, dead)
+		seq := g.nextSeq
+		g.nextSeq++
+		ordered := &wire{
+			Type:    tOrdered,
+			Group:   name,
+			Seq:     seq,
+			Event:   evDown,
+			Subject: nid(dead),
+		}
+		for _, m := range g.members {
+			n.send(m, ordered)
+		}
+		n.dropFromPending(g, dead)
+	}
+}
+
+// dropFromPending removes a node from every pending cast's waiting set,
+// finishing casts that become complete.
+func (n *Node) dropFromPending(g *coordGroup, id transport.NodeID) {
+	for seq, pc := range g.pending {
+		if pc.waiting[id] {
+			delete(pc.waiting, id)
+			if len(pc.waiting) == 0 {
+				n.finishCast(g, seq, pc)
+			}
+		}
+	}
+}
+
+func containsID(ids []transport.NodeID, id transport.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,281 @@
+package vsync
+
+import (
+	"paso/internal/transport"
+)
+
+// memberOrdered handles a sequenced event from the coordinator.
+func (n *Node) memberOrdered(from transport.NodeID, w *wire) {
+	if from != n.coord && from != n.self {
+		// Stale coordinator: reject. Accepting would let two sequencers
+		// assign conflicting sequence numbers during a failover window.
+		return
+	}
+	g, ok := n.groups[w.Group]
+	if !ok {
+		return // not a member (left, or stale broadcast)
+	}
+	if !g.active {
+		// Joiner: buffer everything, but watch for our own join event to
+		// learn the donor (or activate immediately for an empty group).
+		if w.Event == evJoin && tid(w.Subject) == n.self {
+			g.members = idsFromWire(w)
+			if w.Donor == 0 {
+				n.activate(g, w.Seq)
+			} else {
+				g.donor = tid(w.Donor)
+				g.buffer[w.Seq] = w
+			}
+			return
+		}
+		g.buffer[w.Seq] = w
+		return
+	}
+	if w.Seq <= g.last {
+		return // duplicate
+	}
+	g.buffer[w.Seq] = w
+	n.drain(g, from)
+}
+
+// drain applies buffered events in sequence order.
+func (n *Node) drain(g *memberState, orderer transport.NodeID) {
+	for {
+		w, ok := g.buffer[g.last+1]
+		if !ok {
+			return
+		}
+		delete(g.buffer, g.last+1)
+		g.last++
+		n.apply(g, orderer, w)
+	}
+}
+
+// apply processes one in-order event on an active member.
+func (n *Node) apply(g *memberState, orderer transport.NodeID, w *wire) {
+	switch w.Event {
+	case evData:
+		resp, fail := n.deliverOnce(g, w)
+		n.send(orderer, &wire{
+			Type:    tAck,
+			Group:   g.name,
+			Seq:     w.Seq,
+			ReqID:   w.ReqID,
+			Origin:  w.Origin,
+			Payload: resp,
+			Fail:    fail,
+		})
+	case evJoin:
+		subject := tid(w.Subject)
+		g.members = addID(g.members, subject)
+		if tid(w.Donor) == n.self && subject != n.self {
+			n.sendSnapshot(g, subject)
+		}
+		n.h.ViewChange(g.name, append([]transport.NodeID(nil), g.members...))
+	case evLeave:
+		subject := tid(w.Subject)
+		g.members = removeID(g.members, subject)
+		if subject == n.self {
+			n.h.Evict(g.name)
+			delete(n.groups, g.name)
+			n.resolveLocal(g.name, tLeaveReq)
+			return
+		}
+		n.h.ViewChange(g.name, append([]transport.NodeID(nil), g.members...))
+	case evDown:
+		g.members = removeID(g.members, tid(w.Subject))
+		n.h.ViewChange(g.name, append([]transport.NodeID(nil), g.members...))
+	}
+}
+
+// deliverOnce invokes the handler unless the (origin, reqID) pair was
+// already delivered, in which case the cached response is replayed.
+func (n *Node) deliverOnce(g *memberState, w *wire) (resp []byte, fail bool) {
+	entries := g.delivered[w.Origin]
+	for _, e := range entries {
+		if e.ReqID == w.ReqID {
+			return e.Resp, e.Fail
+		}
+	}
+	resp, fail = n.h.Deliver(g.name, tid(w.Origin), w.Payload)
+	entries = append(entries, deliveredEntry{ReqID: w.ReqID, Resp: resp, Fail: fail})
+	if len(entries) > maxDeliveredCache {
+		entries = entries[len(entries)-maxDeliveredCache:]
+	}
+	g.delivered[w.Origin] = entries
+	return resp, fail
+}
+
+// sendSnapshot ships this member's state for the group to a joiner or
+// laggard. The snapshot reflects exactly the deliveries up to g.last and
+// carries the dedup cache so the receiver's duplicate decisions match ours.
+func (n *Node) sendSnapshot(g *memberState, to transport.NodeID) {
+	env := &snapshotEnvelope{
+		App:       n.h.Snapshot(g.name),
+		Delivered: copyDelivered(g.delivered),
+	}
+	n.send(to, &wire{
+		Type:    tState,
+		Group:   g.name,
+		Payload: encodeSnapshot(env),
+		UpTo:    g.last,
+	})
+}
+
+// memberState_ handles an incoming state snapshot (the underscore avoids
+// colliding with the memberState type).
+func (n *Node) memberState_(from transport.NodeID, w *wire) {
+	g, ok := n.groups[w.Group]
+	if !ok {
+		return
+	}
+	if g.active && w.UpTo <= g.last {
+		return // stale snapshot
+	}
+	env, err := decodeSnapshot(w.Payload)
+	if err != nil {
+		return
+	}
+	n.h.Install(g.name, env.App)
+	g.delivered = copyDelivered(env.Delivered)
+	// Everything at or before UpTo is reflected in the snapshot.
+	for seq := range g.buffer {
+		if seq <= w.UpTo {
+			delete(g.buffer, seq)
+		}
+	}
+	if !g.active {
+		n.activate(g, w.UpTo)
+		return
+	}
+	g.last = w.UpTo
+	n.drain(g, n.coord)
+}
+
+// activate completes a join: the member starts delivering from seq+1.
+func (n *Node) activate(g *memberState, upTo uint64) {
+	g.active = true
+	g.donor = 0
+	g.last = upTo
+	for seq := range g.buffer {
+		if seq <= upTo {
+			delete(g.buffer, seq)
+		}
+	}
+	n.h.ViewChange(g.name, append([]transport.NodeID(nil), g.members...))
+	n.resolveLocal(g.name, tJoinReq)
+	n.drain(g, n.coord)
+}
+
+// memberRestate handles a coordinator verdict that our membership of a
+// group comes from a divergent sequence series (bootstrap split brain or a
+// failure-detector flap that evicted us unseen): wipe the local state and
+// rejoin from scratch, receiving a fresh snapshot from a current member.
+func (n *Node) memberRestate(from transport.NodeID, w *wire) {
+	if from != n.coord {
+		return // only the current coordinator may restate us
+	}
+	g, ok := n.groups[w.Group]
+	if !ok {
+		return
+	}
+	if g.active {
+		n.h.Evict(g.name)
+	}
+	delete(n.groups, w.Group)
+	// Rejoin with a fire-and-forget pending request: retransmission on
+	// coordinator change works as for any client request, and resolution
+	// happens locally at activation. Nobody waits on the channel; it is
+	// buffered so resolution never blocks the loop.
+	n.startRequest(tJoinReq, w.Group, nil, make(chan Result, 1))
+}
+
+// donorResync handles a coordinator instruction to push state to a member
+// that missed deliveries during a failover.
+func (n *Node) donorResync(w *wire) {
+	g, ok := n.groups[w.Group]
+	if !ok || !g.active {
+		return
+	}
+	n.sendSnapshot(g, tid(w.Subject))
+}
+
+// replySync answers a new coordinator's recovery query with this node's
+// group facts.
+func (n *Node) replySync(to transport.NodeID) {
+	infos := make(map[string]syncInfo, len(n.groups))
+	for name, g := range n.groups {
+		if g.active {
+			infos[name] = syncInfo{Member: true, Last: g.last}
+		}
+	}
+	n.send(to, &wire{Type: tSyncInfo, Infos: infos})
+}
+
+// memberNodeDown reacts to a crash notification: a joiner waiting on a
+// crashed donor re-requests its join so the coordinator picks a new donor.
+func (n *Node) memberNodeDown(dead transport.NodeID) {
+	for name, g := range n.groups {
+		if !g.active && g.donor == dead {
+			g.donor = 0
+			for id, p := range n.pending {
+				if p.group == name && p.w.Type == tJoinReq {
+					n.send(n.coord, n.pending[id].w)
+				}
+			}
+		}
+	}
+}
+
+// idsFromWire extracts the membership list carried by a join event. The
+// coordinator embeds it in Payload as 8-byte IDs to give the joiner its
+// initial view.
+func idsFromWire(w *wire) []transport.NodeID {
+	out := make([]transport.NodeID, 0, len(w.Payload)/8)
+	for i := 0; i+8 <= len(w.Payload); i += 8 {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(w.Payload[i+b]) << (8 * b)
+		}
+		out = append(out, transport.NodeID(v))
+	}
+	return out
+}
+
+// idsToWire serializes a membership list for a join event.
+func idsToWire(ids []transport.NodeID) []byte {
+	out := make([]byte, 0, len(ids)*8)
+	for _, id := range ids {
+		v := uint64(id)
+		for b := 0; b < 8; b++ {
+			out = append(out, byte(v>>(8*b)))
+		}
+	}
+	return out
+}
+
+func addID(ids []transport.NodeID, id transport.NodeID) []transport.NodeID {
+	for _, x := range ids {
+		if x == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+func removeID(ids []transport.NodeID, id transport.NodeID) []transport.NodeID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+func copyDelivered(m map[uint64][]deliveredEntry) map[uint64][]deliveredEntry {
+	out := make(map[uint64][]deliveredEntry, len(m))
+	for k, v := range m {
+		out[k] = append([]deliveredEntry(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,470 @@
+package vsync
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"paso/internal/transport"
+)
+
+// Handler receives group events on behalf of the application (the memory
+// server). All methods are invoked from the node's event loop; they must
+// not call back into Node methods (doing so would deadlock) and must not
+// block.
+type Handler interface {
+	// Deliver processes one totally ordered gcast payload and returns the
+	// member's response. fail=true marks a "fail" response; the gatherer
+	// prefers non-fail responses (paper §3.2: one response is returned).
+	Deliver(group string, origin transport.NodeID, payload []byte) (resp []byte, fail bool)
+	// Snapshot serializes the member's state for the group, used as the
+	// g-join state transfer (paper §4.2).
+	Snapshot(group string) []byte
+	// Install replaces the member's state for the group with a snapshot.
+	Install(group string, state []byte)
+	// Evict tells the handler to erase its state for the group after a
+	// voluntary leave (paper §4.2: servers erase information on g-leave).
+	Evict(group string)
+	// ViewChange reports the new membership after any ordered membership
+	// event for a group this node belongs to.
+	ViewChange(group string, members []transport.NodeID)
+	// AppMessage receives a point-to-point payload sent with SendApp,
+	// outside any group ordering (used for marker wakeups, §4.3).
+	AppMessage(from transport.NodeID, payload []byte)
+}
+
+// Result is the outcome of a Gcast: the single gathered response, the fail
+// flag, and the group size at ordering time (piggybacked per §5.1 so
+// clients can learn |F(C)| cheaply).
+type Result struct {
+	Payload   []byte
+	Fail      bool
+	GroupSize int
+}
+
+// ErrClosed is returned by API calls on a closed (or crashed) node.
+var ErrClosed = errors.New("vsync: node closed")
+
+// maxDeliveredCache bounds the per-origin duplicate-suppression cache.
+// Retransmissions happen promptly after coordinator changes, so only a
+// small recent window is needed.
+const maxDeliveredCache = 256
+
+// Node is one machine's attachment to the group layer. All state is owned
+// by a single event-loop goroutine; public methods communicate with the
+// loop through a command channel.
+type Node struct {
+	ep   transport.Endpoint
+	h    Handler
+	self transport.NodeID
+
+	cmds chan func()
+	stop chan struct{}
+	done chan struct{}
+
+	// Loop-owned state below; never touched outside the loop.
+	live    map[transport.NodeID]bool
+	coord   transport.NodeID
+	reqSeq  uint64
+	pending map[uint64]*pendingReq
+	groups  map[string]*memberState
+	cs      *coordState // non-nil while this node is coordinator
+}
+
+// pendingReq is a client-side request awaiting resolution.
+type pendingReq struct {
+	w  *wire
+	ch chan Result
+	// group is set for join/leave requests, resolved by local events
+	// rather than a tReply.
+	group string
+}
+
+// memberState is this node's view of a group it belongs to (or is joining).
+type memberState struct {
+	name      string
+	members   []transport.NodeID
+	last      uint64
+	active    bool
+	donor     transport.NodeID // awaited state donor while inactive
+	buffer    map[uint64]*wire // out-of-order / pre-activation ordered events
+	delivered map[uint64][]deliveredEntry
+}
+
+// NewNode attaches a node to the group layer and starts its event loop.
+// The handler h receives deliveries; see Handler for the reentrancy rule.
+func NewNode(ep transport.Endpoint, h Handler) *Node {
+	n := &Node{
+		ep:      ep,
+		h:       h,
+		self:    ep.ID(),
+		cmds:    make(chan func()),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		live:    make(map[transport.NodeID]bool),
+		pending: make(map[uint64]*pendingReq),
+		groups:  make(map[string]*memberState),
+	}
+	// Request IDs must not collide across incarnations of the same node ID
+	// (a restarted machine's early requests would otherwise be swallowed
+	// by surviving members' duplicate-suppression caches). Starting the
+	// counter at a random point makes collisions vanishingly unlikely even
+	// when snapshots carry caches across the restart.
+	var seed [8]byte
+	if _, err := cryptorand.Read(seed[:]); err == nil {
+		n.reqSeq = binary.LittleEndian.Uint64(seed[:])
+	}
+	for _, id := range ep.Alive() {
+		n.live[id] = true
+	}
+	n.live[n.self] = true
+	n.recomputeCoord()
+	go n.loop()
+	return n
+}
+
+// ID returns the node's transport identity.
+func (n *Node) ID() transport.NodeID { return n.self }
+
+// Close shuts the node down. Pending calls fail with ErrClosed. The
+// underlying endpoint is left to the caller (the cluster layer crashes or
+// closes it).
+func (n *Node) Close() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+}
+
+// do runs f on the event loop, returning false if the node is closed.
+func (n *Node) do(f func()) bool {
+	select {
+	case n.cmds <- f:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// Gcast broadcasts payload to the group and returns the gathered response.
+// An empty or unknown group yields a fail Result, mirroring the paper's
+// read returning fail when no server holds a match.
+func (n *Node) Gcast(group string, payload []byte) (Result, error) {
+	ch := make(chan Result, 1)
+	ok := n.do(func() { n.startRequest(tCastReq, group, payload, ch) })
+	if !ok {
+		return Result{}, ErrClosed
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-n.done:
+		return Result{}, ErrClosed
+	}
+}
+
+// Join makes this node a member of the group, blocking until the state
+// transfer completes and the member is active (paper §4.2: no group
+// communication is processed by the joiner until the transfer finishes).
+func (n *Node) Join(group string) error {
+	ch := make(chan Result, 1)
+	ok := n.do(func() {
+		if g, exists := n.groups[group]; exists && g.active {
+			ch <- Result{}
+			return
+		}
+		n.startRequest(tJoinReq, group, nil, ch)
+	})
+	if !ok {
+		return ErrClosed
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// Leave removes this node from the group, blocking until the ordered leave
+// event is delivered. The handler's Evict is invoked to erase group state.
+func (n *Node) Leave(group string) error {
+	ch := make(chan Result, 1)
+	ok := n.do(func() {
+		if _, exists := n.groups[group]; !exists {
+			ch <- Result{}
+			return
+		}
+		n.startRequest(tLeaveReq, group, nil, ch)
+	})
+	if !ok {
+		return ErrClosed
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// Member reports whether this node is an active member of the group.
+func (n *Node) Member(group string) bool {
+	var res bool
+	ch := make(chan struct{})
+	ok := n.do(func() {
+		g, exists := n.groups[group]
+		res = exists && g.active
+		close(ch)
+	})
+	if !ok {
+		return false
+	}
+	select {
+	case <-ch:
+		return res
+	case <-n.done:
+		return false
+	}
+}
+
+// Members returns the local membership view of a group this node belongs
+// to, or nil.
+func (n *Node) Members(group string) []transport.NodeID {
+	var res []transport.NodeID
+	ch := make(chan struct{})
+	ok := n.do(func() {
+		if g, exists := n.groups[group]; exists {
+			res = append([]transport.NodeID(nil), g.members...)
+		}
+		close(ch)
+	})
+	if !ok {
+		return nil
+	}
+	select {
+	case <-ch:
+		return res
+	case <-n.done:
+		return nil
+	}
+}
+
+// Alive returns the failure detector's current live-node set.
+func (n *Node) Alive() []transport.NodeID {
+	var res []transport.NodeID
+	ch := make(chan struct{})
+	ok := n.do(func() {
+		for id := range n.live {
+			res = append(res, id)
+		}
+		sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+		close(ch)
+	})
+	if !ok {
+		return nil
+	}
+	select {
+	case <-ch:
+		return res
+	case <-n.done:
+		return nil
+	}
+}
+
+// --- event loop ---
+
+func (n *Node) loop() {
+	defer close(n.done)
+	defer n.failAllPending()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case f := <-n.cmds:
+			f()
+		case it, ok := <-n.ep.Recv():
+			if !ok {
+				return // transport crashed under us
+			}
+			n.handleItem(it)
+		}
+	}
+}
+
+func (n *Node) failAllPending() {
+	for _, p := range n.pending {
+		p.ch <- Result{Fail: true}
+	}
+	n.pending = nil
+}
+
+func (n *Node) handleItem(it transport.Item) {
+	switch it.Kind {
+	case transport.KindUp:
+		n.live[it.From] = true
+		n.recomputeCoord()
+		if n.cs != nil && it.From != n.self {
+			// Interrogate the newcomer: it may carry group memberships
+			// from a time we could not see it — a bootstrap where every
+			// node briefly coordinated alone, or a spurious eviction by a
+			// flapping failure detector. Its report is merged in
+			// coordSyncInfo: unknown groups are adopted, divergent
+			// memberships are told to wipe and rejoin.
+			n.send(it.From, &wire{Type: tSync})
+		}
+	case transport.KindDown:
+		delete(n.live, it.From)
+		if n.cs != nil {
+			n.coordNodeDown(it.From)
+		}
+		n.memberNodeDown(it.From)
+		// Note: the origin's duplicate-suppression entries are kept. A
+		// Down may be a failure-detector flap — the node can still be
+		// alive and may retransmit in-flight requests when it observes a
+		// coordinator change, and clearing here would turn those
+		// retransmissions into double deliveries. Cross-incarnation ID
+		// collisions are prevented by the randomized request-ID start
+		// instead, and the per-origin cache is bounded.
+		n.recomputeCoord()
+	case transport.KindMsg:
+		w, err := decodeWire(it.Payload)
+		if err != nil {
+			return // corrupt frame: drop, as a real NIC would
+		}
+		n.dispatch(it.From, w)
+	}
+}
+
+func (n *Node) dispatch(from transport.NodeID, w *wire) {
+	switch w.Type {
+	case tCastReq, tJoinReq, tLeaveReq:
+		n.coordRequest(from, w)
+	case tOrdered:
+		n.memberOrdered(from, w)
+	case tAck:
+		n.coordAck(from, w)
+	case tReply:
+		n.clientReply(w)
+	case tState:
+		n.memberState_(from, w)
+	case tSync:
+		n.replySync(from)
+	case tSyncInfo:
+		n.coordSyncInfo(from, w)
+	case tResync:
+		n.donorResync(w)
+	case tRestate:
+		n.memberRestate(from, w)
+	case tApp:
+		n.h.AppMessage(from, w.Payload)
+	}
+}
+
+// SendApp transmits an application payload directly to a peer, outside any
+// group. Unlike the other methods it is safe to call from Handler callbacks
+// (it does not go through the event loop).
+func (n *Node) SendApp(to transport.NodeID, payload []byte) error {
+	return n.ep.Send(to, encodeWire(&wire{Type: tApp, Payload: payload}))
+}
+
+// send serializes and transmits a wire message.
+func (n *Node) send(to transport.NodeID, w *wire) {
+	_ = n.ep.Send(to, encodeWire(w)) // closed endpoint: loop exits soon
+}
+
+// recomputeCoord re-derives the coordinator (lowest live node) and reacts
+// to changes: taking over, abdicating, and retransmitting pending client
+// requests to the new coordinator.
+func (n *Node) recomputeCoord() {
+	newCoord := n.self
+	for id := range n.live {
+		if id < newCoord {
+			newCoord = id
+		}
+	}
+	if newCoord == n.coord {
+		return
+	}
+	old := n.coord
+	n.coord = newCoord
+	if newCoord == n.self {
+		n.becomeCoordinator()
+	} else if old == n.self {
+		n.cs = nil // abdicate; clients will retransmit to the new one
+	}
+	n.retransmitPending()
+}
+
+// retransmitPending resends every unresolved client request to the current
+// coordinator. Duplicate orderings are suppressed at delivery time.
+func (n *Node) retransmitPending() {
+	for _, p := range n.pending {
+		n.send(n.coord, p.w)
+	}
+}
+
+// startRequest registers a pending client request and sends it to the
+// coordinator.
+func (n *Node) startRequest(t msgType, group string, payload []byte, ch chan Result) {
+	n.reqSeq++
+	w := &wire{
+		Type:    t,
+		Group:   group,
+		ReqID:   n.reqSeq,
+		Origin:  nid(n.self),
+		Subject: nid(n.self),
+		Payload: payload,
+	}
+	p := &pendingReq{w: w, ch: ch, group: group}
+	n.pending[w.ReqID] = p
+	if t == tJoinReq {
+		// Pre-create the member record so ordered events can be buffered
+		// before activation.
+		if _, exists := n.groups[group]; !exists {
+			n.groups[group] = newMemberState(group)
+		}
+	}
+	n.send(n.coord, w)
+}
+
+// clientReply resolves a pending request from a coordinator reply.
+func (n *Node) clientReply(w *wire) {
+	p, ok := n.pending[w.ReqID]
+	if !ok {
+		return // duplicate reply after retransmission
+	}
+	delete(n.pending, w.ReqID)
+	if p.w.Type == tLeaveReq {
+		// The coordinator resolved the leave without an ordered event
+		// (membership record lost across a recovery); erase local state
+		// here instead.
+		if _, exists := n.groups[p.group]; exists {
+			n.h.Evict(p.group)
+			delete(n.groups, p.group)
+		}
+	}
+	p.ch <- Result{Payload: w.Payload, Fail: w.Fail, GroupSize: w.Size}
+}
+
+// resolveLocal resolves pending join/leave requests for a group, driven by
+// locally observed membership events rather than coordinator replies.
+func (n *Node) resolveLocal(group string, t msgType) {
+	for id, p := range n.pending {
+		if p.group == group && p.w.Type == t {
+			delete(n.pending, id)
+			p.ch <- Result{}
+		}
+	}
+}
+
+func newMemberState(name string) *memberState {
+	return &memberState{
+		name:      name,
+		buffer:    make(map[uint64]*wire),
+		delivered: make(map[uint64][]deliveredEntry),
+	}
+}

@@ -1,0 +1,136 @@
+package vsync
+
+import (
+	"fmt"
+	"testing"
+
+	"paso/internal/transport"
+)
+
+// TestFlapEvictionHeals reproduces the failure-detector flap hazard
+// deterministically: other nodes (including the coordinator) see a member
+// go down and instantly come back, so the coordinator evicts it — but the
+// member itself never notices and keeps its (now divergent) state. The
+// coordinator's newcomer interrogation on the Up edge must detect the
+// divergence and restate the member: wipe, rejoin, fresh state transfer.
+func TestFlapEvictionHeals(t *testing.T) {
+	h := newHarness(t, 1, 2, 3)
+	for id := range h.nds {
+		if err := h.nds[id].Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := h.nds[1].Gcast("g", []byte(fmt.Sprintf("pre%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 3 flaps in everyone else's eyes.
+	h.net.Flap(3)
+	// The group must converge back to 3 members (eviction + restate +
+	// rejoin), and traffic delivered during the window must reach node 3
+	// via its fresh snapshot rather than being lost.
+	probe := 0
+	waitFor(t, "group heals to 3 members", func() bool {
+		probe++
+		res, err := h.nds[1].Gcast("g", []byte(fmt.Sprintf("probe%d", probe)))
+		return err == nil && !res.Fail && res.GroupSize == 3
+	})
+	waitFor(t, "node 3 state converges", func() bool {
+		l1, l3 := h.hs[1].log("g"), h.hs[3].log("g")
+		if len(l1) != len(l3) {
+			return false
+		}
+		for i := range l1 {
+			if l1[i] != l3[i] {
+				return false
+			}
+		}
+		return true
+	})
+	// No duplicates anywhere despite the wipe/rejoin.
+	for id, th := range h.hs {
+		seen := make(map[string]bool)
+		for _, m := range th.log("g") {
+			if seen[m] {
+				t.Fatalf("node %d delivered %q twice", id, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestFlapOfCoordinatorSelf: the COORDINATOR flaps in the members' eyes.
+// Members elect the next node; when the old coordinator pops back up they
+// re-elect it; its re-recovery plus the members' claims must converge.
+func TestFlapOfCoordinatorHeals(t *testing.T) {
+	h := newHarness(t, 1, 2, 3)
+	for id := range h.nds {
+		if err := h.nds[id].Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.nds[2].Gcast("g", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Flap(1)
+	probe := 0
+	waitFor(t, "group heals after coordinator flap", func() bool {
+		probe++
+		res, err := h.nds[2].Gcast("g", []byte(fmt.Sprintf("p%d", probe)))
+		return err == nil && !res.Fail && res.GroupSize == 3
+	})
+	waitFor(t, "logs converge", func() bool {
+		ref := h.hs[1].log("g")
+		for id := range h.hs {
+			got := h.hs[id].log("g")
+			if len(got) != len(ref) {
+				return false
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// TestRepeatedFlapsStayConsistent hammers the heal path.
+func TestRepeatedFlapsStayConsistent(t *testing.T) {
+	h := newHarness(t, 1, 2, 3, 4)
+	for id := range h.nds {
+		if err := h.nds[id].Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := 0
+	for round := 0; round < 5; round++ {
+		victim := transport.NodeID(2 + round%3)
+		h.net.Flap(victim)
+		waitFor(t, "heal", func() bool {
+			probe++
+			res, err := h.nds[2].Gcast("g", []byte(fmt.Sprintf("r%d-%d", round, probe)))
+			return err == nil && !res.Fail && res.GroupSize == 4
+		})
+	}
+	waitFor(t, "all logs equal", func() bool {
+		ref := h.hs[1].log("g")
+		if len(ref) == 0 {
+			return false
+		}
+		for id := range h.hs {
+			got := h.hs[id].log("g")
+			if len(got) != len(ref) {
+				return false
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

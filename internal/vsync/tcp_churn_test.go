@@ -1,0 +1,162 @@
+package vsync
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"paso/internal/transport"
+	"paso/internal/transport/tcp"
+)
+
+// TestTCPChurn runs the group layer over real sockets while a member
+// crashes (endpoint closed) and restarts on the same address — the pasod
+// operational cycle. The survivor's log must stay duplicate-free and the
+// restarted node must recover the full state via its re-join.
+func TestTCPChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp churn is slow; skipped in -short mode")
+	}
+	// Generous detector margins: under the race detector a loaded
+	// goroutine can stall past a tight timeout and cause a spurious
+	// eviction (evicted members stay out until an application-level
+	// rejoin, so flapping is costly — pasod defaults are even larger).
+	opts := tcp.Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		FailTimeout:       500 * time.Millisecond,
+	}
+	addrs := make(map[transport.NodeID]string)
+	eps := make(map[transport.NodeID]*tcp.Endpoint)
+	for i := transport.NodeID(1); i <= 3; i++ {
+		ep, err := tcp.Listen(i, "127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	wire := func() {
+		for id, ep := range eps {
+			for pid, addr := range addrs {
+				if pid != id {
+					ep.AddPeer(pid, addr)
+				}
+			}
+		}
+	}
+	wire()
+	nodes := make(map[transport.NodeID]*Node)
+	handlers := make(map[transport.NodeID]*testHandler)
+	for i := transport.NodeID(1); i <= 3; i++ {
+		h := newTestHandler()
+		handlers[i] = h
+		nodes[i] = NewNode(eps[i], h)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	// Join IMMEDIATELY — before the failure detectors have discovered the
+	// peers. Every node briefly coordinates a singleton "g" of its own
+	// (bootstrap split brain); the coordinator's newcomer interrogation
+	// (tSync → adopt/restate) must then merge the three series into one.
+	for i := transport.NodeID(1); i <= 3; i++ {
+		if err := nodes[i].Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := 0
+	waitFor(t, "split-brain heals to one 3-member group", func() bool {
+		probe++
+		res, err := nodes[1].Gcast("g", []byte(fmt.Sprintf("probe%d", probe)))
+		return err == nil && !res.Fail && res.GroupSize == 3
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := nodes[1].Gcast("g", []byte(fmt.Sprintf("pre%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash node 3: close its vsync node and endpoint.
+	nodes[3].Close()
+	eps[3].Close()
+	delete(nodes, 3)
+	// Survivors keep working once the detector evicts it.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		probe++
+		res, err := nodes[1].Gcast("g", []byte(fmt.Sprintf("during%d", probe)))
+		if err == nil && !res.Fail && res.GroupSize == 2 {
+			break
+		}
+		if res.GroupSize < 2 {
+			t.Fatalf("survivor evicted: %+v err=%v", res, err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("group never shrank to survivors: %+v err=%v", res, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Restart node 3 on the SAME address.
+	ep3, err := tcp.Listen(3, addrs[3], opts)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addrs[3], err)
+	}
+	eps[3] = ep3
+	for pid, addr := range addrs {
+		if pid != 3 {
+			ep3.AddPeer(pid, addr)
+		}
+	}
+	// Wait for mutual detection before starting the node.
+	deadline = time.Now().Add(10 * time.Second)
+	for len(ep3.Alive()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted endpoint never saw peers")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h3 := newTestHandler()
+	handlers[3] = h3
+	nodes[3] = NewNode(ep3, h3)
+	if err := nodes[3].Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	// State recovered: all 10 "pre" casts must be present via transfer.
+	pre := 0
+	for _, m := range h3.log("g") {
+		if len(m) >= 3 && m[:3] == "pre" {
+			pre++
+		}
+	}
+	if pre != 10 {
+		t.Fatalf("restarted member recovered %d pre-crash entries, want 10", pre)
+	}
+	// Post-restart traffic reaches all three and logs stay duplicate-free.
+	if _, err := nodes[2].Gcast("g", []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post delivered everywhere", func() bool {
+		for i := transport.NodeID(1); i <= 3; i++ {
+			log := handlers[i].log("g")
+			if len(log) == 0 || log[len(log)-1] != "post" {
+				return false
+			}
+		}
+		return true
+	})
+	for i := transport.NodeID(1); i <= 3; i++ {
+		seen := make(map[string]bool)
+		for _, m := range handlers[i].log("g") {
+			if seen[m] {
+				t.Fatalf("node %d delivered %q twice", i, m)
+			}
+			seen[m] = true
+		}
+	}
+}

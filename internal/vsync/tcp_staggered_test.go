@@ -1,0 +1,73 @@
+package vsync
+
+import (
+	"testing"
+	"time"
+
+	"paso/internal/transport"
+	"paso/internal/transport/tcp"
+)
+
+// TestTCPStaggeredStart reproduces the pasod startup shape: endpoints all
+// up first, then vsync nodes created one at a time, each joining a group
+// before the next node exists. The coordinator's recovery must not
+// deadlock the first joiner.
+func TestTCPStaggeredStart(t *testing.T) {
+	opts := tcp.Options{HeartbeatInterval: 5 * time.Millisecond, FailTimeout: 40 * time.Millisecond}
+	eps := make(map[transport.NodeID]*tcp.Endpoint)
+	for i := transport.NodeID(1); i <= 3; i++ {
+		ep, err := tcp.Listen(i, "127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		defer ep.Close()
+	}
+	for id, ep := range eps {
+		for pid, pep := range eps {
+			if pid != id {
+				ep.AddPeer(pid, pep.Addr())
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, ep := range eps {
+			if len(ep.Alive()) != 3 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	n1 := NewNode(eps[1], newTestHandler())
+	defer n1.Close()
+	joined := make(chan error, 1)
+	go func() { joined <- n1.Join("g") }()
+	select {
+	case err := <-joined:
+		t.Logf("node 1 joined before peers had vsync nodes: err=%v", err)
+	case <-time.After(500 * time.Millisecond):
+		t.Log("node 1 join is blocked waiting for recovery — starting peers")
+	}
+	n2 := NewNode(eps[2], newTestHandler())
+	defer n2.Close()
+	n3 := NewNode(eps[3], newTestHandler())
+	defer n3.Close()
+	select {
+	case err := <-joined:
+		if err != nil {
+			t.Fatalf("join errored: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("join deadlocked even after peers started")
+	}
+	res, err := n1.Gcast("g", []byte("x"))
+	if err != nil || res.Fail {
+		t.Fatalf("gcast: %v %+v", err, res)
+	}
+}

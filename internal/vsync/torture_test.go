@@ -1,0 +1,138 @@
+package vsync
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"paso/internal/transport"
+)
+
+// TestTortureRandomChurn drives a 5-node system with concurrent gcasts
+// while random non-coordinator... in fact ANY nodes (including the
+// coordinator) crash and restart. Afterwards the surviving members' logs
+// must be consistent: one is a prefix of the other, with no duplicates.
+//
+// This is the integration-level check of the §3.2 guarantees: total order,
+// view/message ordering, join state transfer, and failover dedup together.
+func TestTortureRandomChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test skipped in -short mode")
+	}
+	const (
+		nodes  = 5
+		rounds = 6
+		msgs   = 15
+	)
+	h := newHarness(t)
+	for id := transport.NodeID(1); id <= nodes; id++ {
+		h.start(id)
+	}
+	for id := transport.NodeID(1); id <= nodes; id++ {
+		if err := h.nds[id].Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var counter int
+	for round := 0; round < rounds; round++ {
+		// Fire a burst of concurrent gcasts from every live node.
+		var wg sync.WaitGroup
+		ids := make([]transport.NodeID, 0, len(h.nds))
+		nds := make([]*Node, 0, len(h.nds))
+		for id, nd := range h.nds {
+			ids = append(ids, id)
+			nds = append(nds, nd)
+		}
+		base := counter
+		counter += msgs * len(ids)
+		for i, nd := range nds {
+			wg.Add(1)
+			go func(i int, nd *Node) {
+				defer wg.Done()
+				for m := 0; m < msgs; m++ {
+					payload := fmt.Sprintf("r%d-n%d-m%d", round, ids[i], base+i*msgs+m)
+					// Errors are tolerated only for crashed nodes.
+					_, _ = nd.Gcast("g", []byte(payload))
+				}
+			}(i, nd)
+		}
+		// Crash one random node mid-burst (could be the coordinator), and
+		// flap another in the survivors' failure detectors — the restate
+		// path must keep replicas convergent through both.
+		victim := ids[r.Intn(len(ids))]
+		time.Sleep(time.Duration(r.Intn(3)) * time.Millisecond)
+		if len(h.nds) > 2 {
+			h.crash(victim)
+		}
+		if flapVictim := ids[r.Intn(len(ids))]; flapVictim != victim {
+			h.net.Flap(flapVictim)
+		}
+		wg.Wait()
+		// Restart the victim and re-join so the population recovers.
+		if _, down := h.nds[victim]; !down && len(h.nds) < nodes {
+			h.start(victim)
+			if err := h.nds[victim].Join("g"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Quiesce: one final gcast from a survivor, then compare logs.
+	var survivor *Node
+	for _, nd := range h.nds {
+		survivor = nd
+		break
+	}
+	if _, err := survivor.Gcast("g", []byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "logs converge", func() bool {
+		var ref []string
+		for id, nd := range h.nds {
+			if !nd.Member("g") {
+				continue
+			}
+			got := h.hs[id].log("g")
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if len(got) != len(ref) {
+				return false
+			}
+		}
+		return true
+	})
+	// All member logs must now be identical and duplicate-free.
+	var ref []string
+	var refID transport.NodeID
+	for id, nd := range h.nds {
+		if !nd.Member("g") {
+			continue
+		}
+		got := h.hs[id].log("g")
+		if ref == nil {
+			ref, refID = got, id
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("log length mismatch: node %d has %d, node %d has %d",
+				id, len(got), refID, len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("order divergence at %d: node %d %q vs node %d %q",
+					i, id, got[i], refID, ref[i])
+			}
+		}
+	}
+	seen := make(map[string]bool, len(ref))
+	for _, m := range ref {
+		if seen[m] {
+			t.Fatalf("duplicate delivery %q", m)
+		}
+		seen[m] = true
+	}
+}

@@ -1,0 +1,150 @@
+// Package vsync implements the virtually synchronous process-group layer
+// the PASO system is built on (paper §3.2), modeled on ISIS: named groups,
+// g-join and g-leave with state transfer, and a reliable, totally ordered
+// gcast whose members' responses are gathered into a single reply.
+//
+// Guarantees provided (the ones §3.2 requires):
+//
+//   - gcast messages to a group are delivered to all its members in a single
+//     total order, FIFO per sender;
+//   - g-join and g-leave events are ordered within the same total order, so
+//     all members see messages and membership changes in the same sequence;
+//   - a joiner receives a state snapshot from a current member reflecting
+//     exactly the deliveries ordered before its join, and buffers later
+//     messages until the snapshot is installed;
+//   - a crashed member is evicted from all its groups by an ordered event.
+//
+// The implementation elects the lowest-ID live node as the system-wide
+// sequencer ("coordinator"). Ordering state lost in a coordinator crash is
+// rebuilt by querying survivors; members that missed deliveries during the
+// failover window are resynchronized by state transfer. Duplicate
+// suppression uses per-origin request IDs, so client retransmission after a
+// coordinator change is safe.
+//
+// Divergent histories are reconciled by the coordinator interrogating every
+// newly discovered node (tSync on Up): group claims for classes with no
+// current members are adopted; claims from a divergent sequence series —
+// a bootstrap where nodes briefly coordinated alone before their failure
+// detectors converged, or a member evicted by a detector flap it never saw
+// — are answered with tRestate, making the claimant wipe that group and
+// rejoin with a fresh state transfer. Split-brain sides that lose the merge
+// discard their divergent writes; at bootstrap the groups are empty, and
+// post-flap the surviving series is the one the coordinator kept ordering.
+package vsync
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"paso/internal/transport"
+)
+
+// msgType discriminates protocol messages.
+type msgType uint8
+
+const (
+	tCastReq  msgType = iota + 1 // client → coordinator: order this payload
+	tJoinReq                     // client → coordinator: add me to group
+	tLeaveReq                    // client → coordinator: remove me
+	tOrdered                     // coordinator → members: sequenced event
+	tAck                         // member → coordinator: processed + response
+	tReply                       // coordinator → client: gathered response
+	tState                       // donor → joiner/laggard: state snapshot
+	tSync                        // new coordinator → all: report your groups
+	tSyncInfo                    // node → new coordinator: my group facts
+	tResync                      // coordinator → donor: push state to laggard
+	tApp                         // application point-to-point message
+	tRestate                     // coordinator → member: your series diverged; wipe and rejoin
+)
+
+// eventKind discriminates sequenced events inside tOrdered.
+type eventKind uint8
+
+const (
+	evData  eventKind = iota + 1 // application gcast payload
+	evJoin                       // Subject joins, Donor supplies state
+	evLeave                      // Subject leaves voluntarily
+	evDown                       // Subject evicted after a crash
+)
+
+// wire is the single on-the-wire message envelope. One struct for all
+// message types keeps the gob stream simple; unused fields are zero.
+type wire struct {
+	Type    msgType
+	Group   string
+	ReqID   uint64
+	Origin  uint64 // requesting node for casts; reply destination
+	Seq     uint64
+	Event   eventKind
+	Subject uint64 // joining/leaving/evicted node
+	Donor   uint64 // state donor for joins/resyncs
+	Payload []byte
+	Fail    bool
+	Size    int // |group| at ordering time, piggybacked on replies
+	UpTo    uint64
+	Infos   map[string]syncInfo // tSyncInfo only
+}
+
+// syncInfo is one node's report about one group during recovery.
+type syncInfo struct {
+	Member bool
+	Last   uint64 // highest delivered sequence number
+}
+
+// snapshotEnvelope is what a donor actually ships: the application state
+// plus the vsync-level duplicate-suppression cache. Transferring the cache
+// keeps a resynchronized replica's dedup decisions identical to its
+// donor's, so a later re-ordered duplicate is skipped by both.
+type snapshotEnvelope struct {
+	App       []byte
+	Delivered map[uint64][]deliveredEntry // origin → recent entries
+}
+
+// deliveredEntry caches the response produced for a delivered request so a
+// duplicate ordering can be acknowledged without re-executing it.
+type deliveredEntry struct {
+	ReqID uint64
+	Resp  []byte
+	Fail  bool
+}
+
+func encodeWire(w *wire) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		// Encoding our own fixed struct cannot fail except for programmer
+		// error; surface it loudly during development.
+		panic(fmt.Sprintf("vsync: encode wire: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeWire(b []byte) (*wire, error) {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("decode wire: %w", err)
+	}
+	return &w, nil
+}
+
+func encodeSnapshot(s *snapshotEnvelope) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		panic(fmt.Sprintf("vsync: encode snapshot: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeSnapshot(b []byte) (*snapshotEnvelope, error) {
+	var s snapshotEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// nid converts a transport node ID for wire embedding.
+func nid(id transport.NodeID) uint64 { return uint64(id) }
+
+// tid converts back.
+func tid(v uint64) transport.NodeID { return transport.NodeID(v) }

@@ -1,0 +1,182 @@
+// Package workload generates the request sequences and failure traces the
+// experiments run on. Competitive analysis is worst-case, so alongside
+// benign random mixes there are adversarial generators designed to push
+// the §5 algorithms toward their bounds: counter-torture cycles for the
+// Basic algorithm, drifting class sizes for doubling/halving, and
+// round-robin failure traces (the paging adversary) for support selection.
+//
+// All generators are deterministic given their seed.
+package workload
+
+import (
+	"math/rand"
+
+	"paso/internal/opt"
+)
+
+// MixParams configures a random read/update mix.
+type MixParams struct {
+	Events   int
+	ReadFrac float64 // probability an event is a read
+	RgSize   int     // λ+1−|F| (constant over the sequence)
+	JoinCost int     // K
+	QCost    int     // q
+	Seed     int64
+}
+
+// RandomMix generates an i.i.d. sequence of reads and updates.
+func RandomMix(p MixParams) []opt.Event {
+	r := rand.New(rand.NewSource(p.Seed))
+	events := make([]opt.Event, p.Events)
+	for i := range events {
+		kind := opt.Update
+		if r.Float64() < p.ReadFrac {
+			kind = opt.Read
+		}
+		events[i] = opt.Event{Kind: kind, RgSize: p.RgSize, JoinCost: p.JoinCost, QCost: p.QCost}
+	}
+	return events
+}
+
+// Phased alternates read bursts with update bursts: the locality pattern
+// adaptive replication exists for. Each of the phases runs reads reads
+// then updates updates.
+func Phased(phases, reads, updates, rgSize, joinCost, qCost int) []opt.Event {
+	events := make([]opt.Event, 0, phases*(reads+updates))
+	for p := 0; p < phases; p++ {
+		for i := 0; i < reads; i++ {
+			events = append(events, opt.Event{Kind: opt.Read, RgSize: rgSize, JoinCost: joinCost, QCost: qCost})
+		}
+		for i := 0; i < updates; i++ {
+			events = append(events, opt.Event{Kind: opt.Update, RgSize: rgSize, JoinCost: joinCost, QCost: qCost})
+		}
+	}
+	return events
+}
+
+// CounterTorture is the adversary for the Basic algorithm: each cycle
+// issues exactly enough reads to drive the counter to K (making the online
+// algorithm pay ≈K remotely and then K to join), followed by exactly K
+// updates (forcing it to pay K as a member and then leave). The optimal
+// offline algorithm serves each cycle at roughly one third of that. This
+// pushes the measured ratio toward the theorem's constant.
+func CounterTorture(cycles, rgSize, joinCost, qCost int) []opt.Event {
+	if rgSize < 1 {
+		rgSize = 1
+	}
+	if joinCost < 1 {
+		joinCost = 1
+	}
+	if qCost < 1 {
+		qCost = 1
+	}
+	readsPerCycle := (joinCost + qCost*rgSize - 1) / (qCost * rgSize) // ceil(K / qr)
+	events := make([]opt.Event, 0, cycles*(readsPerCycle+joinCost))
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < readsPerCycle; i++ {
+			events = append(events, opt.Event{Kind: opt.Read, RgSize: rgSize, JoinCost: joinCost, QCost: qCost})
+		}
+		for i := 0; i < joinCost; i++ {
+			events = append(events, opt.Event{Kind: opt.Update, RgSize: rgSize, JoinCost: joinCost, QCost: qCost})
+		}
+	}
+	return events
+}
+
+// DriftParams configures a drifting-class-size sequence for Theorem 3.
+type DriftParams struct {
+	Phases   int
+	PerPhase int
+	ReadFrac float64
+	RgSize   int
+	BaseK    int // K in the first phase
+	MaxK     int // K is clamped to [1, MaxK]
+	QCost    int
+	Seed     int64
+}
+
+// DriftingSize generates a mix whose join cost K doubles or halves between
+// phases (the class size ℓ growing and shrinking), exercising the
+// doubling/halving algorithm.
+func DriftingSize(p DriftParams) []opt.Event {
+	r := rand.New(rand.NewSource(p.Seed))
+	events := make([]opt.Event, 0, p.Phases*p.PerPhase)
+	k := p.BaseK
+	if k < 1 {
+		k = 1
+	}
+	for phase := 0; phase < p.Phases; phase++ {
+		for i := 0; i < p.PerPhase; i++ {
+			kind := opt.Update
+			if r.Float64() < p.ReadFrac {
+				kind = opt.Read
+			}
+			events = append(events, opt.Event{Kind: kind, RgSize: p.RgSize, JoinCost: k, QCost: p.QCost})
+		}
+		if r.Intn(2) == 0 && k*2 <= p.MaxK {
+			k *= 2
+		} else if k > 1 {
+			k /= 2
+		}
+	}
+	return events
+}
+
+// --- failure traces (support selection, §5.2) ---
+
+// RoundRobinFailures fails machines 1..pool in rotation for the given
+// number of failures. This is the paging adversary under the Theorem 4
+// reduction: with a pool one larger than the cache, LRU (and any
+// deterministic policy) faults on every request while OPT faults once per
+// pool-size requests.
+func RoundRobinFailures(pool, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = i%pool + 1
+	}
+	return out
+}
+
+// ZipfFailures draws failures from a Zipf-like distribution over machines
+// 1..pool: a few flaky machines fail often (the realistic case where LRF's
+// "longer up means more reliable" heuristic shines).
+func ZipfFailures(pool, count int, skew float64, seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	if skew <= 1 {
+		skew = 1.01
+	}
+	z := rand.NewZipf(r, skew, 1, uint64(pool-1))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = int(z.Uint64()) + 1
+	}
+	return out
+}
+
+// UniformFailures draws failures uniformly over machines 1..pool.
+func UniformFailures(pool, count int, seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = r.Intn(pool) + 1
+	}
+	return out
+}
+
+// LocalityFailures draws failures with temporal locality: with probability
+// repeat the previous victim fails again, otherwise a uniform pick. Paging
+// traces with locality are where LRU-style policies beat FIFO/random.
+func LocalityFailures(pool, count int, repeat float64, seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, count)
+	prev := 1
+	for i := range out {
+		if i > 0 && r.Float64() < repeat {
+			out[i] = prev
+			continue
+		}
+		prev = r.Intn(pool) + 1
+		out[i] = prev
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+
+	"paso/internal/opt"
+)
+
+func TestRandomMixDeterministic(t *testing.T) {
+	p := MixParams{Events: 100, ReadFrac: 0.5, RgSize: 2, JoinCost: 4, QCost: 1, Seed: 9}
+	a := RandomMix(p)
+	b := RandomMix(p)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	p.Seed = 10
+	c := RandomMix(p)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestRandomMixReadFraction(t *testing.T) {
+	p := MixParams{Events: 10000, ReadFrac: 0.7, RgSize: 2, JoinCost: 4, QCost: 1, Seed: 1}
+	events := RandomMix(p)
+	reads := 0
+	for _, e := range events {
+		if e.Kind == opt.Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / float64(len(events))
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("read fraction = %.3f, want ≈ 0.7", frac)
+	}
+}
+
+func TestPhasedStructure(t *testing.T) {
+	events := Phased(3, 4, 2, 2, 8, 1)
+	if len(events) != 3*(4+2) {
+		t.Fatalf("len = %d", len(events))
+	}
+	// First 4 reads then 2 updates.
+	for i := 0; i < 4; i++ {
+		if events[i].Kind != opt.Read {
+			t.Fatalf("event %d kind = %v", i, events[i].Kind)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if events[i].Kind != opt.Update {
+			t.Fatalf("event %d kind = %v", i, events[i].Kind)
+		}
+	}
+}
+
+func TestCounterTortureShape(t *testing.T) {
+	k, r := 8, 2
+	events := CounterTorture(2, r, k, 1)
+	// reads per cycle = ceil(K/r) = 4, updates = K = 8.
+	wantCycle := 4 + 8
+	if len(events) != 2*wantCycle {
+		t.Fatalf("len = %d, want %d", len(events), 2*wantCycle)
+	}
+	for i := 0; i < 4; i++ {
+		if events[i].Kind != opt.Read {
+			t.Fatalf("event %d should be read", i)
+		}
+	}
+	for i := 4; i < wantCycle; i++ {
+		if events[i].Kind != opt.Update {
+			t.Fatalf("event %d should be update", i)
+		}
+	}
+}
+
+func TestCounterTortureDefensiveParams(t *testing.T) {
+	events := CounterTorture(1, 0, 0, 0)
+	if len(events) == 0 {
+		t.Fatal("degenerate params should still generate")
+	}
+}
+
+func TestDriftingSizeKStaysInRange(t *testing.T) {
+	events := DriftingSize(DriftParams{
+		Phases: 50, PerPhase: 10, ReadFrac: 0.5,
+		RgSize: 2, BaseK: 8, MaxK: 32, QCost: 1, Seed: 4,
+	})
+	if len(events) != 500 {
+		t.Fatalf("len = %d", len(events))
+	}
+	changes := 0
+	prev := events[0].JoinCost
+	for _, e := range events {
+		if e.JoinCost < 1 || e.JoinCost > 32 {
+			t.Fatalf("JoinCost %d out of range", e.JoinCost)
+		}
+		if e.JoinCost != prev {
+			// K changes only by factor 2.
+			if e.JoinCost != prev*2 && e.JoinCost != prev/2 {
+				t.Fatalf("K jumped from %d to %d", prev, e.JoinCost)
+			}
+			changes++
+			prev = e.JoinCost
+		}
+	}
+	if changes == 0 {
+		t.Error("K never drifted")
+	}
+}
+
+func TestRoundRobinFailures(t *testing.T) {
+	got := RoundRobinFailures(3, 7)
+	want := []int{1, 2, 3, 1, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestZipfFailuresSkewed(t *testing.T) {
+	got := ZipfFailures(10, 5000, 1.5, 3)
+	counts := make(map[int]int)
+	for _, m := range got {
+		if m < 1 || m > 10 {
+			t.Fatalf("machine %d out of range", m)
+		}
+		counts[m]++
+	}
+	if counts[1] <= counts[10]*2 {
+		t.Errorf("zipf not skewed: counts %v", counts)
+	}
+}
+
+func TestUniformFailuresRange(t *testing.T) {
+	for _, m := range UniformFailures(5, 1000, 1) {
+		if m < 1 || m > 5 {
+			t.Fatalf("machine %d out of range", m)
+		}
+	}
+}
+
+func TestLocalityFailuresRepeats(t *testing.T) {
+	got := LocalityFailures(20, 5000, 0.8, 2)
+	repeats := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			repeats++
+		}
+	}
+	frac := float64(repeats) / float64(len(got)-1)
+	if frac < 0.7 {
+		t.Errorf("repeat fraction %.2f, want ≈ 0.8", frac)
+	}
+}

@@ -1,0 +1,357 @@
+package paso
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newSpace(t *testing.T, opts Options) *Space {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("zero machines should fail")
+	}
+	if _, err := New(Options{Machines: 2, Store: "btree"}); err == nil {
+		t.Error("unknown store should fail")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	s := newSpace(t, Options{Machines: 4, TupleNames: []string{"greeting"}})
+	if s.Machines() != 4 {
+		t.Fatalf("Machines = %d", s.Machines())
+	}
+	if _, err := s.On(1).Insert(Str("greeting"), I(42)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.On(2).Read(MatchName("greeting", AnyInt()))
+	if err != nil || !ok {
+		t.Fatalf("read: %v ok=%v", err, ok)
+	}
+	if got.Field(1).MustInt() != 42 {
+		t.Fatalf("got %v", got)
+	}
+	taken, ok, err := s.On(3).Take(MatchName("greeting", AnyInt()))
+	if err != nil || !ok {
+		t.Fatalf("take: %v ok=%v", err, ok)
+	}
+	if taken.ID() != got.ID() {
+		t.Fatal("take removed a different object")
+	}
+	if _, ok, _ := s.On(4).Read(MatchName("greeting", AnyInt())); ok {
+		t.Fatal("object visible after take")
+	}
+}
+
+func TestSingleMachineSpace(t *testing.T) {
+	s := newSpace(t, Options{Machines: 1})
+	if _, err := s.On(1).Insert(Str("x"), I(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.On(1).Read(Match(Eq(Str("x")), AnyInt())); !ok || err != nil {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCrashRestartDataSurvives(t *testing.T) {
+	s := newSpace(t, Options{Machines: 4, Lambda: 1})
+	if _, err := s.On(1).Insert(Str("k"), I(7)); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash(1)
+	if s.On(1) != nil {
+		t.Fatal("crashed machine handle should be nil")
+	}
+	if _, ok, err := s.On(2).Read(Match(Eq(Str("k")), AnyInt())); !ok || err != nil {
+		t.Fatalf("read after crash: ok=%v err=%v", ok, err)
+	}
+	if err := s.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.On(1).Read(Match(Eq(Str("k")), AnyInt())); !ok || err != nil {
+		t.Fatalf("read after restart: ok=%v err=%v", ok, err)
+	}
+	if err := s.CheckFaultTolerance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTakeWaitBlocksUntilInsert(t *testing.T) {
+	s := newSpace(t, Options{Machines: 3, TupleNames: []string{"job"}})
+	got := make(chan Tuple, 1)
+	errc := make(chan error, 1)
+	go func() {
+		tup, err := s.On(2).TakeWait(MatchName("job", AnyInt()), 10*time.Second)
+		if err != nil {
+			errc <- err
+			return
+		}
+		got <- tup
+	}()
+	time.Sleep(20 * time.Millisecond) // let the taker block
+	if _, err := s.On(1).Insert(Str("job"), I(99)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case tup := <-got:
+		if tup.Field(1).MustInt() != 99 {
+			t.Fatalf("took %v", tup)
+		}
+	case err := <-errc:
+		t.Fatalf("TakeWait error: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("TakeWait never woke up")
+	}
+}
+
+func TestReadWaitTimeout(t *testing.T) {
+	s := newSpace(t, Options{Machines: 2})
+	_, err := s.On(1).ReadWait(Match(Eq(Str("never")), AnyInt()), 30*time.Millisecond)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	s := newSpace(t, Options{Machines: 4, TupleNames: []string{"work"}})
+	const items = 60
+	var wg sync.WaitGroup
+	for p := 1; p <= 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < items/2; i++ {
+				if _, err := s.On(p).Insert(Str("work"), I(int64(p*1000+i))); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	taken := make(map[int64]bool)
+	for c := 3; c <= 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				tup, err := s.On(c).TakeWait(MatchName("work", AnyInt()), 500*time.Millisecond)
+				if err != nil {
+					return // drained
+				}
+				v := tup.Field(1).MustInt()
+				mu.Lock()
+				if taken[v] {
+					t.Errorf("item %d taken twice", v)
+				}
+				taken[v] = true
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if len(taken) != items {
+		t.Fatalf("consumed %d items, want %d", len(taken), items)
+	}
+}
+
+func TestPolicyKinds(t *testing.T) {
+	for _, pk := range []PolicyKind{PolicyStatic, PolicyBasic, PolicyQCost, PolicyDoubling, PolicyFull, PolicyRandomized} {
+		s := newSpace(t, Options{Machines: 3, Policy: pk})
+		if _, err := s.On(1).Insert(Str("t"), I(1)); err != nil {
+			t.Fatalf("policy %d: %v", pk, err)
+		}
+		if _, ok, err := s.On(2).Read(Match(Eq(Str("t")), AnyInt())); !ok || err != nil {
+			t.Fatalf("policy %d read: ok=%v err=%v", pk, ok, err)
+		}
+		s.Close()
+	}
+}
+
+func TestStoreKinds(t *testing.T) {
+	for _, kind := range []string{"hash", "tree", "list"} {
+		s := newSpace(t, Options{Machines: 3, Store: kind})
+		for i := int64(0); i < 5; i++ {
+			if _, err := s.On(1).Insert(Str("v"), I(i*10)); err != nil {
+				t.Fatalf("%s insert: %v", kind, err)
+			}
+		}
+		got, ok, err := s.On(2).Read(Match(Eq(Str("v")), Rng(I(15), I(25))))
+		if err != nil || !ok {
+			t.Fatalf("%s range read: ok=%v err=%v", kind, ok, err)
+		}
+		if got.Field(1).MustInt() != 20 {
+			t.Fatalf("%s range read got %v", kind, got)
+		}
+		s.Close()
+	}
+}
+
+func TestMatcherHelpers(t *testing.T) {
+	s := newSpace(t, Options{Machines: 2})
+	if _, err := s.On(1).Insert(Str("cfg"), F(1.5), B(true), Raw([]byte{1})); err != nil {
+		t.Fatal(err)
+	}
+	tp := Match(Prefix("cf"), AnyFloat(), AnyBool(), AnyBytes())
+	if _, ok, err := s.On(2).Read(tp); !ok || err != nil {
+		t.Fatalf("helper template read: ok=%v err=%v", ok, err)
+	}
+	tp2 := Match(Contains("f"), Rng(F(1), F(2)), Eq(B(true)), AnyBytes())
+	if _, ok, _ := s.On(2).Read(tp2); !ok {
+		t.Fatal("contains/range template missed")
+	}
+	tp3 := Match(Ne(Str("cfg")), AnyFloat(), AnyBool(), AnyBytes())
+	if _, ok, _ := s.On(2).Read(tp3); ok {
+		t.Fatal("Ne template should miss")
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := newSpace(t, Options{Machines: 3})
+	h := s.On(2)
+	if _, err := h.Insert(Str("s"), I(1)); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if len(st) == 0 {
+		t.Fatal("stats empty after insert")
+	}
+}
+
+func TestSwapAtAPILevel(t *testing.T) {
+	s := newSpace(t, Options{Machines: 3, TupleNames: []string{"state"}})
+	if _, err := s.On(1).Insert(Str("state"), Str("pending"), I(7)); err != nil {
+		t.Fatal(err)
+	}
+	old, ok, err := s.On(2).Swap(
+		MatchName("state", Eq(Str("pending")), AnyInt()),
+		Str("state"), Str("running"), I(7),
+	)
+	if err != nil || !ok {
+		t.Fatalf("swap: %v ok=%v", err, ok)
+	}
+	if old.Field(1).MustString() != "pending" {
+		t.Fatalf("swap removed %v", old)
+	}
+	got, ok, err := s.On(3).Read(MatchName("state", Eq(Str("running")), AnyInt()))
+	if err != nil || !ok {
+		t.Fatalf("replacement read: %v ok=%v", err, ok)
+	}
+	if got.Field(2).MustInt() != 7 {
+		t.Fatalf("payload lost across swap: %v", got)
+	}
+}
+
+func TestSupportMaintenanceAtAPILevel(t *testing.T) {
+	s := newSpace(t, Options{Machines: 5, Lambda: 1, SupportMaintenance: true})
+	if _, err := s.On(5).Insert(Str("d"), I(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential crashes beyond λ, each repaired before the next.
+	for _, id := range []int{1, 2, 3} {
+		s.Crash(id)
+		if err := s.CheckFaultTolerance(); err != nil {
+			t.Fatalf("after crash of %d: %v", id, err)
+		}
+	}
+	if _, ok, err := s.On(5).Read(Match(Eq(Str("d")), AnyInt())); !ok || err != nil {
+		t.Fatalf("data lost despite maintenance: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRangeShardedSpace(t *testing.T) {
+	s := newSpace(t, Options{
+		Machines: 6,
+		Lambda:   1,
+		Store:    "tree",
+		RangeShard: &RangeShardOptions{
+			Name: "kv", Field: 1, Bounds: []int64{100, 200, 300},
+		},
+	})
+	for key := int64(0); key < 400; key += 25 {
+		if _, err := s.On(int(key/25)%6+1).Insert(Str("kv"), I(key), Str("val")); err != nil {
+			t.Fatalf("insert %d: %v", key, err)
+		}
+	}
+	// Exact-key lookup.
+	got, ok, err := s.On(1).Read(MatchName("kv", Eq(I(150)), AnyStr()))
+	if err != nil || !ok {
+		t.Fatalf("exact read: %v ok=%v", err, ok)
+	}
+	if got.Field(1).MustInt() != 150 {
+		t.Fatalf("got %v", got)
+	}
+	// Range query inside one bucket, then straddling buckets.
+	for _, bounds := range [][2]int64{{110, 140}, {180, 220}, {0, 399}} {
+		got, ok, err := s.On(2).Read(MatchName("kv", Rng(I(bounds[0]), I(bounds[1])), AnyStr()))
+		if err != nil || !ok {
+			t.Fatalf("range [%d,%d]: %v ok=%v", bounds[0], bounds[1], err, ok)
+		}
+		k := got.Field(1).MustInt()
+		if k < bounds[0] || k > bounds[1] {
+			t.Fatalf("range [%d,%d] returned %d", bounds[0], bounds[1], k)
+		}
+	}
+	// Take drains across buckets in per-bucket FIFO order; every key is
+	// removed exactly once.
+	seen := make(map[int64]bool)
+	for i := 0; i < 16; i++ {
+		tup, ok, err := s.On(3).Take(MatchName("kv", AnyInt(), AnyStr()))
+		if err != nil || !ok {
+			t.Fatalf("take %d: %v ok=%v", i, err, ok)
+		}
+		k := tup.Field(1).MustInt()
+		if seen[k] {
+			t.Fatalf("key %d taken twice", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("drained %d keys, want 16", len(seen))
+	}
+	if err := s.CheckFaultTolerance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeShardExclusiveWithNames(t *testing.T) {
+	_, err := New(Options{
+		Machines:   2,
+		TupleNames: []string{"a"},
+		RangeShard: &RangeShardOptions{Name: "kv", Field: 1, Bounds: []int64{5}},
+	})
+	if err == nil {
+		t.Fatal("RangeShard+TupleNames accepted")
+	}
+}
+
+func TestSpaceTotals(t *testing.T) {
+	s := newSpace(t, Options{Machines: 3, Policy: PolicyStatic})
+	if _, err := s.On(1).Insert(Str("x"), I(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.On(2).Read(Match(Eq(Str("x")), AnyInt())); err != nil {
+		t.Fatal(err)
+	}
+	totals := s.Totals()
+	if totals[OpInsert].Count != 1 {
+		t.Errorf("insert count = %d", totals[OpInsert].Count)
+	}
+	if totals[OpInsert].MsgCost <= 0 {
+		t.Error("insert msg-cost missing")
+	}
+	reads := totals[OpReadLocal].Count + totals[OpReadRemote].Count
+	if reads != 1 {
+		t.Errorf("read count = %d", reads)
+	}
+}

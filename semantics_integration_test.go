@@ -1,0 +1,72 @@
+package paso
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"paso/internal/semantics"
+)
+
+// TestSemanticsUnderConcurrencyAndCrashes drives a live space from many
+// goroutines — with a crash and restart in the middle — and validates the
+// recorded history against the §2 semantics rules (A2, R1, R2).
+func TestSemanticsUnderConcurrencyAndCrashes(t *testing.T) {
+	s := newSpace(t, Options{Machines: 5, Lambda: 2, TupleNames: []string{"d"}})
+	rec := semantics.NewRecorder()
+	tpl := MatchName("d", AnyInt())
+
+	var wg sync.WaitGroup
+	worker := func(machine int, seed int64) {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 60; i++ {
+			h := s.On(machine)
+			if h == nil {
+				continue // machine currently crashed
+			}
+			switch r.Intn(3) {
+			case 0:
+				start := rec.Begin()
+				tup, err := h.Insert(Str("d"), I(r.Int63n(50)))
+				rec.EndInsert(machine, start, tup, err)
+			case 1:
+				start := rec.Begin()
+				tup, ok, err := h.Read(tpl)
+				if err == nil {
+					rec.EndRead(machine, start, tup, ok)
+				}
+			default:
+				start := rec.Begin()
+				tup, ok, err := h.Take(tpl)
+				if err == nil {
+					rec.EndReadDel(machine, start, tup, ok)
+				}
+			}
+		}
+	}
+	for m := 1; m <= 5; m++ {
+		wg.Add(1)
+		go worker(m, int64(m))
+	}
+	// Crash machine 5 mid-run, then bring it back.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Crash(5)
+		if err := s.Restart(5); err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	history := rec.History()
+	if len(history) < 100 {
+		t.Fatalf("history too small: %d records", len(history))
+	}
+	if violations := semantics.Check(history); len(violations) != 0 {
+		for _, v := range violations {
+			t.Errorf("semantics violation: %v", v)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package paso
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"paso/internal/semantics"
+)
+
+// TestSoakLargeEnsemble runs a 12-machine space with adaptive replication,
+// support maintenance, and continuous crash/restart churn under a mixed
+// workload from every machine, then checks the full recorded history
+// against the §2 semantics. This is the "everything at once" test: if any
+// layer (vsync ordering, state transfer, dedup, support repair, adaptive
+// joins) breaks an invariant, the checker catches it.
+func TestSoakLargeEnsemble(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		machines = 12
+		lambda   = 2
+		opsEach  = 80
+	)
+	s := newSpace(t, Options{
+		Machines:           machines,
+		Lambda:             lambda,
+		TupleNames:         []string{"a", "b", "c"},
+		Policy:             PolicyBasic,
+		K:                  6,
+		SupportMaintenance: true,
+	})
+	rec := semantics.NewRecorder()
+	names := []string{"a", "b", "c"}
+
+	var wg sync.WaitGroup
+	for machine := 1; machine <= machines; machine++ {
+		wg.Add(1)
+		go func(machine int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(machine) * 77))
+			for i := 0; i < opsEach; i++ {
+				h := s.On(machine)
+				if h == nil {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				name := names[r.Intn(len(names))]
+				tpl := MatchName(name, AnyInt())
+				switch r.Intn(4) {
+				case 0, 1:
+					start := rec.Begin()
+					tup, err := h.Insert(Str(name), I(r.Int63n(40)))
+					rec.EndInsert(machine, start, tup, err)
+				case 2:
+					start := rec.Begin()
+					tup, ok, err := h.Read(tpl)
+					if err == nil {
+						rec.EndRead(machine, start, tup, ok)
+					}
+				default:
+					start := rec.Begin()
+					tup, ok, err := h.Take(tpl)
+					if err == nil {
+						rec.EndReadDel(machine, start, tup, ok)
+					}
+				}
+			}
+		}(machine)
+	}
+	// Chaos: a rolling crash/restart of machines 10..12, overlapping.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 3; round++ {
+			for _, id := range []int{10, 11, 12} {
+				s.Crash(id)
+				time.Sleep(3 * time.Millisecond)
+				if err := s.Restart(id); err != nil {
+					t.Errorf("restart %d: %v", id, err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	if err := s.CheckFaultTolerance(); err != nil {
+		t.Errorf("fault tolerance after soak: %v", err)
+	}
+	history := rec.History()
+	if len(history) < machines*opsEach/2 {
+		t.Fatalf("suspiciously small history: %d", len(history))
+	}
+	for _, v := range semantics.Check(history) {
+		t.Errorf("semantics violation: %v", v)
+	}
+}
