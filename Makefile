@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages must stay race-clean.
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./
+
+check: build vet test race
+
+clean:
+	rm -rf bin/
+	$(GO) clean ./...

@@ -6,6 +6,11 @@
 //	pasoctl -addr 127.0.0.1:7201 take point ?s i:0..10 ?i
 //	pasoctl -addr 127.0.0.1:7201 takewait 5s point ?s ?i ?i
 //	pasoctl -addr 127.0.0.1:7201 stat
+//	pasoctl -addr 127.0.0.1:7201 stats
+//
+// Most commands get a single response line. "stats" streams the
+// Figure-1-style per-op cost table (one row per operation kind, with
+// latency quantiles) terminated by a lone "." line.
 package main
 
 import (
@@ -57,6 +62,19 @@ func run(args []string) error {
 	fmt.Println(resp)
 	if strings.HasPrefix(resp, "ERR") {
 		os.Exit(2)
+	}
+	// Multi-line responses (the stats table) end with a lone "." line.
+	if fs.Args()[0] == "stats" && resp == "OK" {
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "." {
+				break
+			}
+			fmt.Println(line)
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

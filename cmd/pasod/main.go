@@ -16,13 +16,21 @@
 //	pasoctl -addr 127.0.0.1:7203 insert point s:origin i:3 i:4
 //	pasoctl -addr 127.0.0.1:7201 read point ?s ?i ?i
 //	pasoctl -addr 127.0.0.1:7202 take point ?s ?i ?i
+//	pasoctl -addr 127.0.0.1:7201 stats
 //
 // The client protocol is one command per line; see internal/core/protocol.
+//
+// With -debug-addr set, the daemon also serves live observability
+// endpoints: /metrics (JSON, or Prometheus text with ?format=prometheus),
+// /trace (the recent event ring: view changes, policy join/leave
+// decisions, peer up/down), /healthz, and the standard /debug/pprof/
+// profiling handlers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -32,6 +40,7 @@ import (
 
 	"paso/internal/class"
 	"paso/internal/core"
+	"paso/internal/obs"
 	"paso/internal/storage"
 	"paso/internal/transport"
 	"paso/internal/transport/tcp"
@@ -56,9 +65,11 @@ func run(args []string) error {
 		lambda  = fs.Int("lambda", 1, "crash tolerance λ")
 		support = fs.Bool("support", false, "act as basic support for every class")
 		k       = fs.Int("k", 8, "adaptive counter threshold K")
-		hb      = fs.Duration("heartbeat", 50*time.Millisecond, "failure detector heartbeat")
-		timeout = fs.Duration("fail-timeout", 500*time.Millisecond, "failure detector timeout")
-		inc     = fs.Uint64("incarnation", 0, "restart incarnation (bump after each crash)")
+		hb        = fs.Duration("heartbeat", 50*time.Millisecond, "failure detector heartbeat")
+		timeout   = fs.Duration("fail-timeout", 500*time.Millisecond, "failure detector timeout")
+		inc       = fs.Uint64("incarnation", 0, "restart incarnation (bump after each crash)")
+		debugAddr = fs.String("debug-addr", "", "observability listen address (/metrics, /trace, /debug/pprof); empty disables")
+		traceCap  = fs.Int("trace-cap", 2048, "event trace ring capacity")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,9 +82,19 @@ func run(args []string) error {
 		return err
 	}
 
+	// The root Obs gets the bare logger; each layer stamps its own
+	// "machine" attribute exactly once (core derives a With view itself,
+	// the transport gets one here, and pasod's own messages use logger).
+	o := obs.New(obs.Options{
+		Logger:   slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		TraceCap: *traceCap,
+	})
+	logger := o.Logger().With("machine", *id)
+
 	ep, err := tcp.Listen(transport.NodeID(*id), *listen, tcp.Options{
 		HeartbeatInterval: *hb,
 		FailTimeout:       *timeout,
+		Obs:               o.With(obs.KV("machine", *id)),
 	})
 	if err != nil {
 		return err
@@ -88,31 +109,64 @@ func run(args []string) error {
 		Lambda:     *lambda,
 		StoreKind:  storage.KindHash,
 		NewPolicy:  core.BasicPolicyFactory(*k),
+		Obs:        o,
 	}
 	var basics []class.ID
 	if *support {
 		basics = cfg.Classifier.Classes()
 	}
-	fmt.Printf("pasod %d: transport %s, client %s, %d peers, support=%v\n",
-		*id, ep.Addr(), *client, len(peerMap), *support)
+	logger.Info("starting",
+		"transport", ep.Addr(), "client", *client,
+		"peers", len(peerMap), "support", *support, "lambda", *lambda)
 	m, err := core.StartMachine(ep, cfg, basics, *inc+1)
 	if err != nil {
 		return fmt.Errorf("start machine: %w", err)
 	}
-	defer m.Stop()
-	fmt.Printf("pasod %d: init phase done in %s\n", *id, m.InitTime().Round(time.Millisecond))
+	logger.Info("init phase done", "took", m.InitTime().Round(time.Millisecond).String())
+
+	// The per-OpKind cost aggregates live in the machine's meter; expose
+	// them through /metrics via a scrape-time collector so the endpoint,
+	// pasoctl stats, and the harness all read the same snapshot.
+	o.AddCollector("core.ops", func() map[string]float64 {
+		return core.ReportMetrics(m.Report())
+	})
+
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		debug, err = o.ServeDebug(*debugAddr)
+		if err != nil {
+			m.Stop()
+			return err
+		}
+		logger.Info("debug endpoints up", "addr", debug.Addr(),
+			"paths", "/metrics /trace /healthz /debug/pprof/")
+	}
 
 	srv, err := core.ServeProtocol(*client, m)
 	if err != nil {
+		if debug != nil {
+			debug.Close()
+		}
+		m.Stop()
 		return err
 	}
-	defer srv.Close()
-	fmt.Printf("pasod %d: serving clients on %s\n", *id, srv.Addr())
+	logger.Info("serving clients", "addr", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Printf("pasod %d: shutting down\n", *id)
+	s := <-sig
+	logger.Info("shutting down", "signal", s.String())
+	// Ordering matters: stop accepting and finish in-flight client
+	// commands first, then stop the machine, then the debug endpoints
+	// (useful until the very end), and finally the transport (deferred).
+	if err := srv.Close(); err != nil {
+		logger.Warn("protocol server close", "err", err)
+	}
+	m.Stop()
+	if debug != nil {
+		debug.Close()
+	}
+	logger.Info("shutdown complete")
 	return nil
 }
 

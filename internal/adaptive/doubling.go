@@ -93,5 +93,8 @@ func (p *DoublingHalving) Counter() int { return p.c }
 // CurrentK exposes the working K for tests.
 func (p *DoublingHalving) CurrentK() int { return p.k }
 
+// Threshold implements Thresholded (the current working K).
+func (p *DoublingHalving) Threshold() int { return p.k }
+
 // Name implements Policy.
 func (p *DoublingHalving) Name() string { return fmt.Sprintf("doubling(K=%d)", p.k) }

@@ -68,6 +68,15 @@ type Policy interface {
 	Name() string
 }
 
+// Thresholded is implemented by policies whose join decision compares the
+// counter against a threshold K. The runtime uses it to attach the
+// triggering threshold to policy join/leave events, making competitive
+// behavior auditable from a live trace.
+type Thresholded interface {
+	// Threshold returns the current join threshold.
+	Threshold() int
+}
+
 // Static never joins or leaves: the write group stays at the basic support
 // B(C). It is the fault-tolerance-only baseline adaptive policies are
 // measured against.
@@ -172,6 +181,9 @@ func (p *Basic) Update(member bool) Decision {
 // Counter implements Policy.
 func (p *Basic) Counter() int { return p.c }
 
+// Threshold implements Thresholded.
+func (p *Basic) Threshold() int { return p.k }
+
 // Name implements Policy.
 func (p *Basic) Name() string { return fmt.Sprintf("basic(K=%d)", p.k) }
 
@@ -229,6 +241,9 @@ func (p *QCost) Update(member bool) Decision {
 
 // Counter implements Policy.
 func (p *QCost) Counter() int { return p.c }
+
+// Threshold implements Thresholded.
+func (p *QCost) Threshold() int { return p.k }
 
 // Name implements Policy.
 func (p *QCost) Name() string { return fmt.Sprintf("qcost(K=%d,q=%d)", p.k, p.q) }

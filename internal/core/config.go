@@ -7,6 +7,7 @@ import (
 	"paso/internal/adaptive"
 	"paso/internal/class"
 	"paso/internal/cost"
+	"paso/internal/obs"
 	"paso/internal/storage"
 	"paso/internal/support"
 	"paso/internal/transport"
@@ -59,6 +60,15 @@ type Config struct {
 	// blocking reads (the "hybrid" strategy of §4.3). Zero disables the
 	// fallback (pure markers).
 	MarkerFallback time.Duration
+
+	// Obs receives the machine's metrics (per-OpKind latency histograms,
+	// fault-tolerance-condition violations, policy decisions) and
+	// structured events. It is per-machine state: in multi-machine
+	// in-process clusters leave it nil (each machine then records into its
+	// own throwaway sink) — sharing one Obs across machines would conflate
+	// their metrics. cmd/pasod, hosting exactly one machine, wires the
+	// process-wide Obs here.
+	Obs *obs.Obs
 
 	// SupportSelector enables dynamic support maintenance (§5.2): when a
 	// basic-support machine crashes, the cluster immediately replaces it

@@ -8,6 +8,7 @@ import (
 
 	"paso/internal/adaptive"
 	"paso/internal/class"
+	"paso/internal/obs"
 	"paso/internal/transport"
 	"paso/internal/tuple"
 	"paso/internal/vsync"
@@ -38,9 +39,19 @@ type Machine struct {
 
 	basic map[class.ID]bool // classes with this machine in B(C)
 
-	polMu    sync.Mutex
-	policies map[class.ID]adaptive.Policy
-	moving   map[class.ID]bool // membership change in flight
+	// Observability: per-OpKind wall-clock latency histograms plus event
+	// counters, all feeding the machine's obs sink (cfg.Obs or a nop).
+	o            *obs.Obs
+	lat          map[OpKind]*obs.Histogram
+	cFTC         *obs.Counter
+	cPolicyJoin  *obs.Counter
+	cPolicyLeave *obs.Counter
+	cPromote     *obs.Counter
+
+	polMu     sync.Mutex
+	policies  map[class.ID]adaptive.Policy
+	polGauges map[class.ID]*obs.Gauge // per-class policy counter gauges
+	moving    map[class.ID]bool       // membership change in flight
 
 	actions chan func()
 	stopped chan struct{}
@@ -99,27 +110,57 @@ func (m *Machine) Stop() { m.stop() }
 // unique across crash/restart cycles (§4: IDs are "signed by the creating
 // process", and a restarted server is a new process).
 func newMachine(id transport.NodeID, ep transport.Endpoint, cfg Config, basicClasses []class.ID, incarnation uint64) *Machine {
+	o := cfg.Obs
+	if o == nil {
+		o = obs.Nop()
+	}
+	o = o.With(obs.KV("machine", id))
 	m := &Machine{
-		id:       id,
-		cfg:      cfg,
-		srv:      nil,
-		idgen:    tuple.NewIDGen(uint64(id) | incarnation<<32),
-		ops:      newOpMeter(),
-		basic:    make(map[class.ID]bool, len(basicClasses)),
-		policies: make(map[class.ID]adaptive.Policy),
-		moving:   make(map[class.ID]bool),
-		actions:  make(chan func(), 64),
-		stopped:  make(chan struct{}),
-		wakeCh:   make(chan struct{}),
+		id:        id,
+		cfg:       cfg,
+		srv:       nil,
+		idgen:     tuple.NewIDGen(uint64(id) | incarnation<<32),
+		ops:       newOpMeter(),
+		basic:     make(map[class.ID]bool, len(basicClasses)),
+		policies:  make(map[class.ID]adaptive.Policy),
+		polGauges: make(map[class.ID]*obs.Gauge),
+		moving:    make(map[class.ID]bool),
+		actions:   make(chan func(), 64),
+		stopped:   make(chan struct{}),
+		wakeCh:    make(chan struct{}),
+
+		o:            o,
+		lat:          make(map[OpKind]*obs.Histogram, len(allOpKinds)),
+		cFTC:         o.Counter("core.ftc.violations"),
+		cPolicyJoin:  o.Counter("core.policy.joins"),
+		cPolicyLeave: o.Counter("core.policy.leaves"),
+		cPromote:     o.Counter("core.support.promotions"),
+	}
+	for _, k := range allOpKinds {
+		m.lat[k] = o.Histogram("core.op." + k.String() + ".latency.seconds")
 	}
 	for _, cls := range basicClasses {
 		m.basic[cls] = true
 	}
 	m.srv = newServer(cfg, m.onUpdate, m.notifyReader)
-	m.node = vsync.NewNode(ep, machineHandler{m: m})
+	m.node = vsync.NewNodeWith(ep, machineHandler{m: m}, o)
 	m.wg.Add(1)
 	go m.actionWorker()
 	return m
+}
+
+// record tracks one operation leg in both the Figure 1 cost meter and the
+// wall-clock latency histogram (measured from legStart).
+func (m *Machine) record(kind OpKind, legStart time.Time, msg, work, tm float64, fail bool) {
+	m.ops.add(kind, msg, work, tm, fail)
+	m.lat[kind].Observe(time.Since(legStart).Seconds())
+}
+
+// ftcViolation counts a sighting of the §4.1 fault-tolerance condition
+// being violated: an operation reached a class with zero live replicas.
+func (m *Machine) ftcViolation(op OpKind, cls class.ID) {
+	m.cFTC.Inc()
+	m.o.Emit("ftc-violation", obs.KV("op", op), obs.KV("class", cls))
 }
 
 // start runs the initialization phase (§3.1/§4.2): join the write group —
@@ -178,6 +219,34 @@ func (m *Machine) InitTime() time.Duration { return m.initTime }
 // Stats returns per-operation cost aggregates (Figure 1 measures).
 func (m *Machine) Stats() map[OpKind]OpStats { return m.ops.snapshot() }
 
+// Obs returns the machine's observability sink (never nil).
+func (m *Machine) Obs() *obs.Obs { return m.o }
+
+// Report returns one row per operation kind with both the Figure 1 cost
+// aggregates and the wall-clock latency quantiles, sorted by kind. It is
+// the single source of truth behind the /metrics endpoint, the protocol's
+// stats verb, and the experiment harness.
+func (m *Machine) Report() []OpReport {
+	st := m.ops.snapshot()
+	out := make([]OpReport, 0, len(st))
+	for _, k := range allOpKinds {
+		s, ok := st[k]
+		if !ok {
+			continue
+		}
+		h := m.lat[k].Snapshot()
+		out = append(out, OpReport{
+			Kind:    k,
+			OpStats: s,
+			LatMean: h.Mean,
+			LatP50:  h.P50,
+			LatP90:  h.P90,
+			LatP99:  h.P99,
+		})
+	}
+	return out
+}
+
 // IsBasic reports whether this machine is basic support for the class.
 func (m *Machine) IsBasic(cls class.ID) bool {
 	m.polMu.Lock()
@@ -205,6 +274,7 @@ func (m *Machine) Insert(t tuple.Tuple) (tuple.Tuple, error) {
 	if m.isDown() {
 		return tuple.Tuple{}, ErrMachineDown
 	}
+	start := time.Now()
 	t = t.WithID(m.idgen.Next())
 	cls := m.cfg.Classifier.ClassOf(t)
 	payload := encodeCommand(&command{kind: cmdStore, class: cls, obj: t})
@@ -213,11 +283,12 @@ func (m *Machine) Insert(t tuple.Tuple) (tuple.Tuple, error) {
 		return t, fmt.Errorf("insert: %w", err)
 	}
 	if res.Fail && res.GroupSize == 0 {
+		m.ftcViolation(OpInsert, cls)
 		return t, ErrNoReplicas
 	}
 	// Figure 1: msg-cost g(2α+β|o|)+α; work g·I; time I + transit.
 	g := float64(res.GroupSize)
-	m.ops.add(OpInsert, m.cfg.Model.Insert(res.GroupSize, len(payload)), g, 1, false)
+	m.record(OpInsert, start, m.cfg.Model.Insert(res.GroupSize, len(payload)), g, 1, false)
 	return t, nil
 }
 
@@ -230,9 +301,10 @@ func (m *Machine) Read(tp tuple.Template) (tuple.Tuple, bool, error) {
 		return tuple.Tuple{}, false, ErrMachineDown
 	}
 	for _, cls := range m.cfg.Classifier.SearchList(tp) {
+		legStart := time.Now()
 		if m.node.Member(wgName(cls)) {
 			obj, ok, probes := m.srv.localRead(cls, tp)
-			m.ops.add(OpReadLocal, 0, float64(probes), float64(probes), !ok)
+			m.record(OpReadLocal, legStart, 0, float64(probes), float64(probes), !ok)
 			m.policyRead(cls, true, 0)
 			if ok {
 				return obj, true, nil
@@ -248,9 +320,12 @@ func (m *Machine) Read(tp tuple.Template) (tuple.Tuple, bool, error) {
 		if err != nil {
 			return tuple.Tuple{}, false, fmt.Errorf("read: %w", err)
 		}
+		if res.Fail && res.GroupSize == 0 {
+			m.ftcViolation(OpReadRemote, cls)
+		}
 		obj, ok, probes := decodeResult(res)
 		g := float64(res.GroupSize)
-		m.ops.add(OpReadRemote,
+		m.record(OpReadRemote, legStart,
 			m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
 			g*float64(probes), float64(probes)+1, !ok)
 		m.policyRead(cls, false, res.GroupSize)
@@ -270,14 +345,18 @@ func (m *Machine) ReadDel(tp tuple.Template) (tuple.Tuple, bool, error) {
 		return tuple.Tuple{}, false, ErrMachineDown
 	}
 	for _, cls := range m.cfg.Classifier.SearchList(tp) {
+		legStart := time.Now()
 		payload := encodeCommand(&command{kind: cmdRemove, class: cls, tpl: tp})
 		res, err := m.node.Gcast(wgName(cls), payload)
 		if err != nil {
 			return tuple.Tuple{}, false, fmt.Errorf("read&del: %w", err)
 		}
+		if res.Fail && res.GroupSize == 0 {
+			m.ftcViolation(OpReadDel, cls)
+		}
 		obj, ok, probes := decodeResult(res)
 		g := float64(res.GroupSize)
-		m.ops.add(OpReadDel,
+		m.record(OpReadDel, legStart,
 			m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
 			g*float64(probes), float64(probes)+1, !ok)
 		if ok {
@@ -312,17 +391,19 @@ func (m *Machine) Swap(tp tuple.Template, repl tuple.Tuple) (tuple.Tuple, bool, 
 		return tuple.Tuple{}, false, fmt.Errorf(
 			"swap: replacement class %s not reachable by the template (cross-class swap)", cls)
 	}
+	start := time.Now()
 	payload := encodeCommand(&command{kind: cmdSwap, class: cls, tpl: tp, obj: repl})
 	res, err := m.node.Gcast(wgName(cls), payload)
 	if err != nil {
 		return tuple.Tuple{}, false, fmt.Errorf("swap: %w", err)
 	}
 	if res.Fail && res.GroupSize == 0 {
+		m.ftcViolation(OpReadDel, cls)
 		return tuple.Tuple{}, false, ErrNoReplicas
 	}
 	old, ok, probes := decodeResult(res)
 	g := float64(res.GroupSize)
-	m.ops.add(OpReadDel,
+	m.record(OpReadDel, start,
 		m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
 		g*float64(probes), float64(probes)+1, !ok)
 	return old, ok, nil
@@ -356,6 +437,24 @@ func (m *Machine) policyFor(cls class.ID) adaptive.Policy {
 	return p
 }
 
+// gaugeFor returns the class's policy-counter gauge; callers hold polMu.
+func (m *Machine) gaugeFor(cls class.ID) *obs.Gauge {
+	g, ok := m.polGauges[cls]
+	if !ok {
+		g = m.o.Gauge("core.policy.counter." + string(cls))
+		m.polGauges[cls] = g
+	}
+	return g
+}
+
+// policyThreshold extracts the join threshold K when the policy exposes it.
+func policyThreshold(p adaptive.Policy) int {
+	if t, ok := p.(adaptive.Thresholded); ok {
+		return t.Threshold()
+	}
+	return 0
+}
+
 // policyRead feeds a local compute process's read into the policy and
 // executes a Join decision.
 func (m *Machine) policyRead(cls class.ID, member bool, rgSize int) {
@@ -365,12 +464,19 @@ func (m *Machine) policyRead(cls class.ID, member bool, rgSize int) {
 		ca.ObserveJoinCost(maxInt(m.srv.classLen(cls), 1))
 	}
 	d := p.LocalRead(member, rgSize)
+	cnt := p.Counter()
+	m.gaugeFor(cls).Set(int64(cnt))
 	trigger := d == adaptive.Join && !member && !m.moving[cls] && !m.basic[cls]
 	if trigger {
 		m.moving[cls] = true
 	}
+	thr, name := policyThreshold(p), p.Name()
 	m.polMu.Unlock()
 	if trigger {
+		m.cPolicyJoin.Inc()
+		m.o.Emit("policy-join",
+			obs.KV("class", cls), obs.KV("counter", cnt),
+			obs.KV("threshold", thr), obs.KV("policy", name))
 		m.enqueueMove(cls, func() { m.doJoin(cls) })
 	}
 }
@@ -383,12 +489,19 @@ func (m *Machine) onUpdate(cls class.ID) {
 	m.polMu.Lock()
 	p := m.policyFor(cls)
 	d := p.Update(true)
+	cnt := p.Counter()
+	m.gaugeFor(cls).Set(int64(cnt))
 	trigger := d == adaptive.Leave && !m.basic[cls] && !m.moving[cls]
 	if trigger {
 		m.moving[cls] = true
 	}
+	thr, name := policyThreshold(p), p.Name()
 	m.polMu.Unlock()
 	if trigger {
+		m.cPolicyLeave.Inc()
+		m.o.Emit("policy-leave",
+			obs.KV("class", cls), obs.KV("counter", cnt),
+			obs.KV("threshold", thr), obs.KV("policy", name))
 		m.enqueueMove(cls, func() { m.doLeave(cls) })
 	}
 }
@@ -409,12 +522,14 @@ func (m *Machine) enqueueMove(cls class.ID, f func()) {
 
 func (m *Machine) doJoin(cls class.ID) {
 	defer m.clearMoving(cls)
+	start := time.Now()
 	if err := m.node.Join(wgName(cls)); err != nil {
 		return
 	}
 	// Joining costs K time units (state copy, §5.1): account ℓ work.
 	l := float64(maxInt(m.srv.classLen(cls), 1))
-	m.ops.add(OpJoin, m.cfg.Model.Msg(m.srv.classLen(cls)*32), l, l, false)
+	m.record(OpJoin, start, m.cfg.Model.Msg(m.srv.classLen(cls)*32), l, l, false)
+	m.o.Emit("g-join", obs.KV("class", cls), obs.KV("objects", m.srv.classLen(cls)))
 }
 
 func (m *Machine) doLeave(cls class.ID) {
@@ -425,10 +540,12 @@ func (m *Machine) doLeave(cls class.ID) {
 	if !m.node.Member(wgName(cls)) {
 		return
 	}
+	start := time.Now()
 	if err := m.node.Leave(wgName(cls)); err != nil {
 		return
 	}
-	m.ops.add(OpLeave, 0, 0, 0, false)
+	m.record(OpLeave, start, 0, 0, 0, false)
+	m.o.Emit("g-leave", obs.KV("class", cls))
 }
 
 func (m *Machine) clearMoving(cls class.ID) {
@@ -446,6 +563,7 @@ func (m *Machine) MakeBasic(cls class.ID) error {
 	m.polMu.Lock()
 	m.basic[cls] = true
 	m.polMu.Unlock()
+	start := time.Now()
 	if err := m.node.Join(wgName(cls)); err != nil {
 		return fmt.Errorf("machine %d: promote to B(%s): %w", m.id, cls, err)
 	}
@@ -455,7 +573,9 @@ func (m *Machine) MakeBasic(cls class.ID) error {
 		}
 	}
 	l := float64(maxInt(m.srv.classLen(cls), 1))
-	m.ops.add(OpJoin, m.cfg.Model.Msg(m.srv.classLen(cls)*32), l, l, false)
+	m.record(OpJoin, start, m.cfg.Model.Msg(m.srv.classLen(cls)*32), l, l, false)
+	m.cPromote.Inc()
+	m.o.Emit("make-basic", obs.KV("class", cls), obs.KV("objects", m.srv.classLen(cls)))
 	return nil
 }
 

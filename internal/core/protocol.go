@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"net"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,6 +23,9 @@ import (
 //	readwait <dur> <name> <matcher>...  → OK <tuple> | FAIL | ERR <msg>
 //	takewait <dur> <name> <matcher>...  → OK <tuple> | FAIL | ERR <msg>
 //	stat                                → OK <op counts and costs>
+//	stats                               → OK, then the Figure-1-style
+//	                                      per-op table, one row per line,
+//	                                      terminated by a lone "." line
 //
 // Fields:   i:42   f:2.5   s:text   b:true
 // Matchers: the same literals (exact match), ?i ?f ?s ?b (typed
@@ -226,7 +228,15 @@ func ExecuteCommand(m *Machine, line string) string {
 		}
 		return "OK " + renderTuple(old)
 	case "stat":
-		return "OK " + renderStats(m)
+		return "OK " + renderStatsLine(m.Report())
+	case "stats":
+		// Multi-line response: the table rows, then a lone "." terminator
+		// so line-oriented clients know where it ends.
+		var sb strings.Builder
+		sb.WriteString("OK\n")
+		sb.WriteString(RenderReport(m.Report()))
+		sb.WriteString(".")
+		return sb.String()
 	default:
 		return "ERR unknown command " + fields[0]
 	}
@@ -354,20 +364,3 @@ func renderTuple(t tuple.Tuple) string {
 	return strings.Join(parts, " ")
 }
 
-func renderStats(m *Machine) string {
-	st := m.Stats()
-	kinds := make([]OpKind, 0, len(st))
-	for k := range st {
-		kinds = append(kinds, k)
-	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	parts := make([]string, 0, len(kinds))
-	for _, k := range kinds {
-		s := st[k]
-		parts = append(parts, fmt.Sprintf("%s=%d(msg=%.0f,work=%.0f)", k, s.Count, s.MsgCost, s.Work))
-	}
-	if len(parts) == 0 {
-		return "no-ops"
-	}
-	return strings.Join(parts, " ")
-}

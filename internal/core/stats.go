@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+
+	"paso/internal/stats"
 )
 
 // OpKind labels PASO operations for cost accounting (Figure 1's rows).
@@ -23,6 +26,9 @@ const (
 	// OpLeave is a policy-triggered g-leave.
 	OpLeave
 )
+
+// allOpKinds lists every operation kind in Figure 1 row order.
+var allOpKinds = []OpKind{OpInsert, OpReadLocal, OpReadRemote, OpReadDel, OpJoin, OpLeave}
 
 // String names the kind.
 func (k OpKind) String() string {
@@ -95,4 +101,63 @@ func (o *opMeter) snapshot() map[OpKind]OpStats {
 		out[k] = *v
 	}
 	return out
+}
+
+// OpReport is one row of a machine's live per-op report: the Figure 1
+// cost aggregates plus wall-clock latency (seconds) from the machine's
+// per-kind histogram.
+type OpReport struct {
+	Kind OpKind
+	OpStats
+	LatMean float64
+	LatP50  float64
+	LatP90  float64
+	LatP99  float64
+}
+
+// RenderReport formats reports as the Figure-1-style per-op table: one row
+// per operation kind with counts, the three model cost measures, and the
+// observed latency quantiles in milliseconds.
+func RenderReport(rs []OpReport) string {
+	tb := stats.NewTable("stats", "per-op costs (Figure 1 measures + live latency)",
+		"op", "count", "fail", "msg-cost", "work", "time", "p50ms", "p90ms", "p99ms")
+	for _, r := range rs {
+		tb.AddRow(r.Kind.String(), stats.D(r.Count), stats.D(r.Fails),
+			stats.F(r.MsgCost), stats.F(r.Work), stats.F(r.Time),
+			stats.F(r.LatP50*1e3), stats.F(r.LatP90*1e3), stats.F(r.LatP99*1e3))
+	}
+	if len(rs) == 0 {
+		tb.AddNote("no operations recorded yet")
+	}
+	return tb.Render()
+}
+
+// ReportMetrics flattens reports into scrape-time metrics for an
+// obs.Collector, one name per (kind, measure):
+// core.op.<kind>.{count,fails,msg_cost,work,time}.
+func ReportMetrics(rs []OpReport) map[string]float64 {
+	out := make(map[string]float64, len(rs)*5)
+	for _, r := range rs {
+		prefix := "core.op." + r.Kind.String() + "."
+		out[prefix+"count"] = float64(r.Count)
+		out[prefix+"fails"] = float64(r.Fails)
+		out[prefix+"msg_cost"] = r.MsgCost
+		out[prefix+"work"] = r.Work
+		out[prefix+"time"] = r.Time
+	}
+	return out
+}
+
+// renderStatsLine renders reports as the single-line protocol form used by
+// the legacy "stat" verb.
+func renderStatsLine(rs []OpReport) string {
+	parts := make([]string, 0, len(rs))
+	for _, r := range rs {
+		parts = append(parts, fmt.Sprintf("%s=%d(msg=%.0f,work=%.0f)",
+			r.Kind, r.Count, r.MsgCost, r.Work))
+	}
+	if len(parts) == 0 {
+		return "no-ops"
+	}
+	return strings.Join(parts, " ")
 }

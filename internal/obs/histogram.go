@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: bucket 0 catches observations ≤ histMinBound
+// (including zero and negatives); bucket i > 0 covers
+// (histMinBound·r^(i-1), histMinBound·r^i] with growth ratio r = 2^(1/4).
+// 256 buckets span 1e-9 .. ~1.8e10, wide enough for latencies in seconds
+// and payload sizes in bytes, with ≤ ~19% worst-case quantile error from
+// bucket width alone (interpolation inside the bucket does better on
+// smooth samples).
+const (
+	histBuckets  = 256
+	histMinBound = 1e-9
+)
+
+// bucketUpper returns the upper bound of bucket i.
+func bucketUpper(i int) float64 {
+	if i <= 0 {
+		return histMinBound
+	}
+	return histMinBound * math.Pow(2, float64(i)/4)
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v float64) int {
+	if v <= histMinBound || math.IsNaN(v) {
+		return 0
+	}
+	// log_r(v/min) = ln(v/min)·log2(e)/4... with r = 2^(1/4):
+	// idx = ceil(log2(v/min)·4).
+	idx := int(math.Ceil(math.Log2(v/histMinBound) * 4))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Histogram is a fixed-size bucketed distribution with wait-free Observe:
+// every field is updated with atomic operations, so concurrent writers
+// never contend on a lock. Snapshots are approximate under concurrent
+// writes (buckets are read one by one), which is fine for monitoring.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomicFloat
+	min    atomicFloat
+	max    atomicFloat
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.storeMin(v)
+	h.max.storeMax(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistSnapshot summarizes a histogram at one instant.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot computes the summary, including interpolated quantiles.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total, Sum: h.sum.load()}
+	if total == 0 {
+		return s
+	}
+	s.Mean = s.Sum / float64(total)
+	s.Min = h.min.load()
+	s.Max = h.max.load()
+	s.P50 = quantileFromBuckets(counts[:], total, 0.50, s.Min, s.Max)
+	s.P90 = quantileFromBuckets(counts[:], total, 0.90, s.Min, s.Max)
+	s.P99 = quantileFromBuckets(counts[:], total, 0.99, s.Min, s.Max)
+	return s
+}
+
+// Quantile estimates one quantile (q in [0,1]) from the live buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return quantileFromBuckets(counts[:], total, q, h.min.load(), h.max.load())
+}
+
+// quantileFromBuckets locates the bucket holding the q-th observation and
+// interpolates linearly inside it, clamped to the observed [min, max].
+func quantileFromBuckets(counts []uint64, total uint64, q, min, max float64) float64 {
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = bucketUpper(i - 1)
+			}
+			upper := bucketUpper(i)
+			frac := (target - cum) / float64(c)
+			v := lower + (upper-lower)*frac
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+		cum = next
+	}
+	return max
+}
+
+// atomicFloat is a float64 updated with CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

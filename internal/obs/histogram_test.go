@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"paso/internal/stats"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("quantile of empty histogram should be 0")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := newHistogram()
+	h.Observe(0.25)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0.25 || s.Max != 0.25 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	// With one observation every quantile is clamped to [min, max] = 0.25.
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 0.25 {
+			t.Errorf("Quantile(%v) = %v, want 0.25", q, got)
+		}
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []float64{0, 1e-10, 1e-9, 1e-6, 1e-3, 0.5, 1, 10, 1e6, 1e12} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Errorf("bucketIndex(%v) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		if idx > 0 && !(v > bucketUpper(idx-1) && v <= bucketUpper(idx)) && idx != histBuckets-1 {
+			t.Errorf("v=%v not in bucket %d bounds (%v, %v]",
+				v, idx, bucketUpper(idx-1), bucketUpper(idx))
+		}
+	}
+	if bucketIndex(math.NaN()) != 0 {
+		t.Error("NaN should land in bucket 0")
+	}
+	if bucketIndex(-5) != 0 {
+		t.Error("negatives should land in bucket 0")
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the bucketed estimates against exact
+// order statistics from internal/stats.Summarize. With growth 2^(1/4) the
+// bucket width bounds relative error by ~19%; allow 25% slack for the
+// interpolation inside the first/last bucket.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return rng.Float64() * 10 },
+		"exp":       func() float64 { return rng.ExpFloat64() * 0.01 },
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64()) },
+	}
+	for name, draw := range dists {
+		h := newHistogram()
+		xs := make([]float64, 0, 5000)
+		for i := 0; i < 5000; i++ {
+			v := draw()
+			h.Observe(v)
+			xs = append(xs, v)
+		}
+		exact := stats.Summarize(xs)
+		for _, tc := range []struct {
+			q    float64
+			want float64
+		}{{0.50, exact.P50}, {0.90, exact.P90}, {0.99, exact.P99}} {
+			got := h.Quantile(tc.q)
+			if rel := math.Abs(got-tc.want) / tc.want; rel > 0.25 {
+				t.Errorf("%s: Quantile(%v) = %v, exact %v (rel err %.2f)",
+					name, tc.q, got, tc.want, rel)
+			}
+		}
+		snap := h.Snapshot()
+		if math.Abs(snap.Mean-exact.Mean)/exact.Mean > 1e-9 {
+			t.Errorf("%s: mean = %v, exact %v", name, snap.Mean, exact.Mean)
+		}
+		if snap.Min != exact.Min || snap.Max != exact.Max {
+			t.Errorf("%s: min/max = %v/%v, exact %v/%v",
+				name, snap.Min, snap.Max, exact.Min, exact.Max)
+		}
+	}
+}
+
+// TestHistogramConcurrent checks the wait-free Observe path under -race and
+// that no observations are lost.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	const (
+		workers = 8
+		iters   = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				h.Observe(rng.Float64() + 0.5)
+			}
+		}(int64(w))
+	}
+	// Snapshot while writers run: must be race-free (values approximate).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	s := h.Snapshot()
+	if s.Count != workers*iters {
+		t.Errorf("count = %d, want %d", s.Count, workers*iters)
+	}
+	if s.Min < 0.5 || s.Max > 1.5 {
+		t.Errorf("min/max = %v/%v outside [0.5, 1.5]", s.Min, s.Max)
+	}
+	mean := s.Sum / float64(s.Count)
+	if mean < 0.9 || mean > 1.1 {
+		t.Errorf("mean = %v, want ≈1.0", mean)
+	}
+}

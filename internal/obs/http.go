@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler returns the debug mux:
+//
+//	/metrics        registry + collector metrics; JSON by default,
+//	                Prometheus text with ?format=prometheus (or an Accept
+//	                header preferring text/plain)
+//	/trace          the recent event ring as JSON (?n= limits, ?kind= filters)
+//	/healthz        200 ok
+//	/debug/pprof/   the standard net/http/pprof handlers
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", o.handleMetrics)
+	mux.HandleFunc("/trace", o.handleTrace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug endpoints on addr (use ":0" for an ephemeral
+// port; Addr reports the actual one).
+func (o *Obs) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listener's address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// metricsPayload is the JSON shape of /metrics.
+type metricsPayload struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	Derived    map[string]float64      `json:"derived,omitempty"`
+}
+
+func (o *Obs) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := o.sh.reg.Snapshot()
+	derived := o.Collect()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, snap, derived)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(metricsPayload{
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+		Derived:    derived,
+	})
+}
+
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+// writePrometheus renders the exposition text format. Histograms are
+// rendered as summaries (quantile series plus _sum and _count).
+func writePrometheus(w http.ResponseWriter, snap RegistrySnapshot, derived map[string]float64) {
+	for _, name := range sortedKeys(snap.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", pn, promFloat(h.P50))
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", pn, promFloat(h.P90))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", pn, promFloat(h.P99))
+		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+	for _, name := range sortedKeys(derived) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(derived[name]))
+	}
+}
+
+// promName sanitizes a dotted metric name into the Prometheus charset.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			sb.WriteByte('_')
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (o *Obs) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := -1
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+			n = v
+		}
+	}
+	events := o.sh.trace.Last(n)
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		kept := events[:0]
+		for _, e := range events {
+			if e.Kind == kind {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Total    uint64  `json:"total"`
+		Capacity int     `json:"capacity"`
+		Events   []Event `json:"events"`
+	}{Total: o.sh.trace.Total(), Capacity: o.sh.trace.Cap(), Events: events})
+}

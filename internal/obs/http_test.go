@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testObs(t *testing.T) *Obs {
+	t.Helper()
+	o := New(Options{TraceCap: 16})
+	o.Counter("transport.msgs.sent").Add(42)
+	o.Gauge("transport.peers.up").Set(3)
+	h := o.Histogram("core.op.insert.latency.seconds")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	o.AddCollector("derived", func() map[string]float64 {
+		return map[string]float64{"core.op.insert.count": 100}
+	})
+	o.Emit("view-change", KV("group", "point"), KV("event", "join"))
+	o.Emit("policy-join", KV("class", "task"), KV("counter", 8))
+	return o
+}
+
+func TestMetricsJSON(t *testing.T) {
+	o := testObs(t)
+	rec := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var got metricsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if got.Counters["transport.msgs.sent"] != 42 {
+		t.Errorf("counter = %d", got.Counters["transport.msgs.sent"])
+	}
+	if got.Gauges["transport.peers.up"] != 3 {
+		t.Errorf("gauge = %d", got.Gauges["transport.peers.up"])
+	}
+	h := got.Histograms["core.op.insert.latency.seconds"]
+	if h.Count != 100 || h.P50 <= 0 || h.P99 < h.P50 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if got.Derived["core.op.insert.count"] != 100 {
+		t.Errorf("derived = %v", got.Derived)
+	}
+}
+
+func TestMetricsPrometheus(t *testing.T) {
+	o := testObs(t)
+	for _, req := range []*http.Request{
+		httptest.NewRequest("GET", "/metrics?format=prometheus", nil),
+		func() *http.Request {
+			r := httptest.NewRequest("GET", "/metrics", nil)
+			r.Header.Set("Accept", "text/plain")
+			return r
+		}(),
+	} {
+		rec := httptest.NewRecorder()
+		o.Handler().ServeHTTP(rec, req)
+		body := rec.Body.String()
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Errorf("content-type = %q", ct)
+		}
+		for _, want := range []string{
+			"# TYPE transport_msgs_sent counter",
+			"transport_msgs_sent 42",
+			"# TYPE transport_peers_up gauge",
+			"transport_peers_up 3",
+			"# TYPE core_op_insert_latency_seconds summary",
+			`core_op_insert_latency_seconds{quantile="0.5"}`,
+			"core_op_insert_latency_seconds_count 100",
+			"# TYPE core_op_insert_count gauge",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("prometheus output missing %q\n%s", want, body)
+			}
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	tests := map[string]string{
+		"transport.msgs.sent": "transport_msgs_sent",
+		"core.op.read&del.latency.seconds": "core_op_read_del_latency_seconds",
+		"9lives": "_lives",
+		"a:b_c":  "a:b_c",
+	}
+	for in, want := range tests {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	o := testObs(t)
+	rec := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var got struct {
+		Total    uint64  `json:"total"`
+		Capacity int     `json:"capacity"`
+		Events   []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if got.Total != 2 || got.Capacity != 16 || len(got.Events) != 2 {
+		t.Errorf("trace = %+v", got)
+	}
+	if got.Events[0].Kind != "view-change" {
+		t.Errorf("first event = %+v", got.Events[0])
+	}
+
+	// ?kind= filters, ?n= limits.
+	rec = httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace?kind=policy-join", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(got.Events) != 1 || got.Events[0].Kind != "policy-join" {
+		t.Errorf("filtered events = %+v", got.Events)
+	}
+	rec = httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace?n=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(got.Events) != 1 || got.Events[0].Kind != "policy-join" {
+		t.Errorf("limited events = %+v", got.Events)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	o := New(Options{})
+	rec := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	o := testObs(t)
+	d, err := o.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	var got metricsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if got.Counters["transport.msgs.sent"] != 42 {
+		t.Errorf("counter over HTTP = %d", got.Counters["transport.msgs.sent"])
+	}
+}

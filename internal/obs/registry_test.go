@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.b")
+	c2 := r.Counter("a.b")
+	if c1 != c2 {
+		t.Error("same name should return the same counter")
+	}
+	if r.Counter("a.c") == c1 {
+		t.Error("different names should return different counters")
+	}
+	if r.Gauge("a.b") == nil || r.Histogram("a.b") == nil {
+		t.Error("gauges and histograms live in separate namespaces")
+	}
+}
+
+// TestRegistryConcurrent hammers handle resolution and updates from many
+// goroutines; run with -race to check the lock/atomic discipline.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared.count").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Histogram("shared.hist").Observe(float64(i%100) + 1)
+			}
+		}()
+	}
+	// Concurrent snapshots must not race with writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	want := int64(workers * iters)
+	if got := r.Counter("shared.count").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != uint64(want) {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["shared.count"] != want {
+		t.Errorf("snapshot counter = %d", snap.Counters["shared.count"])
+	}
+	if snap.Histograms["shared.hist"].Count != uint64(want) {
+		t.Errorf("snapshot histogram count = %d", snap.Histograms["shared.hist"].Count)
+	}
+}
+
+func TestGaugeSet(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry in the trace ring: a protocol-level happening worth
+// auditing live — a view change with its old and new membership, an
+// adaptive policy join/leave with the counter value that triggered it, a
+// peer going up or down.
+type Event struct {
+	// Seq numbers events monotonically from process start; gaps after the
+	// ring wraps tell a reader how much history was lost.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	// Attrs hold the event's key/value details, base (per-machine)
+	// attributes first.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Trace is a fixed-capacity ring of recent events. Add never blocks and
+// never allocates beyond the event itself; old entries are overwritten.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever added == next Seq
+}
+
+// NewTrace builds a ring holding the last capacity events (min 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Add appends an event, stamping Seq and (when zero) Time.
+func (t *Trace) Add(e Event) {
+	now := e.Time
+	if now.IsZero() {
+		now = time.Now()
+	}
+	t.mu.Lock()
+	e.Seq = t.next
+	e.Time = now
+	t.buf[t.next%uint64(len(t.buf))] = e
+	t.next++
+	t.mu.Unlock()
+}
+
+// Total returns how many events were ever added (including overwritten).
+func (t *Trace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Cap returns the ring capacity.
+func (t *Trace) Cap() int { return len(t.buf) }
+
+// Events returns the retained events oldest-first.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.buf))
+	count := t.next
+	if count > n {
+		count = n
+	}
+	out := make([]Event, 0, count)
+	start := t.next - count
+	for i := uint64(0); i < count; i++ {
+		out = append(out, t.buf[(start+i)%n])
+	}
+	return out
+}
+
+// Last returns up to n most recent events, oldest-first.
+func (t *Trace) Last(n int) []Event {
+	all := t.Events()
+	if n >= 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceBasics(t *testing.T) {
+	tr := NewTrace(8)
+	if tr.Cap() != 8 {
+		t.Errorf("cap = %d", tr.Cap())
+	}
+	tr.Add(Event{Kind: "a"})
+	tr.Add(Event{Kind: "b"})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != "a" || evs[1].Kind != "b" {
+		t.Errorf("events = %+v", evs)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Errorf("seqs = %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].Time.IsZero() {
+		t.Error("Add should stamp Time")
+	}
+}
+
+func TestTraceWraparound(t *testing.T) {
+	const capacity = 16
+	tr := NewTrace(capacity)
+	const total = 100
+	for i := 0; i < total; i++ {
+		tr.Add(Event{Kind: fmt.Sprintf("e%d", i)})
+	}
+	if tr.Total() != total {
+		t.Errorf("total = %d, want %d", tr.Total(), total)
+	}
+	evs := tr.Events()
+	if len(evs) != capacity {
+		t.Fatalf("retained = %d, want %d", len(evs), capacity)
+	}
+	// The ring keeps the most recent `capacity` events, oldest-first, with
+	// contiguous sequence numbers ending at total-1.
+	for i, e := range evs {
+		wantSeq := uint64(total - capacity + i)
+		if e.Seq != wantSeq {
+			t.Errorf("evs[%d].Seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("e%d", wantSeq); e.Kind != want {
+			t.Errorf("evs[%d].Kind = %q, want %q", i, e.Kind, want)
+		}
+	}
+
+	last := tr.Last(4)
+	if len(last) != 4 || last[3].Seq != total-1 {
+		t.Errorf("Last(4) = %+v", last)
+	}
+	if got := tr.Last(-1); len(got) != capacity {
+		t.Errorf("Last(-1) should return everything, got %d", len(got))
+	}
+	if got := tr.Last(0); len(got) != 0 {
+		t.Errorf("Last(0) should be empty, got %d", len(got))
+	}
+}
+
+func TestTraceMinCapacity(t *testing.T) {
+	tr := NewTrace(0)
+	if tr.Cap() != 1 {
+		t.Errorf("cap = %d, want clamped to 1", tr.Cap())
+	}
+	tr.Add(Event{Kind: "x"})
+	tr.Add(Event{Kind: "y"})
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Kind != "y" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(32)
+	const (
+		workers = 8
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tr.Add(Event{Kind: "k"})
+				if i%100 == 0 {
+					tr.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != workers*iters {
+		t.Errorf("total = %d, want %d", tr.Total(), workers*iters)
+	}
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Errorf("non-contiguous seqs: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

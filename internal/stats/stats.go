@@ -150,10 +150,22 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// quantile interpolates linearly between the two order statistics
+// straddling rank q·(N-1), so e.g. the median of an even-sized sample is
+// the midpoint of the two central values rather than the lower one.
 func (s Summary) quantile(q float64) float64 {
 	if s.N == 0 {
 		return 0
 	}
-	idx := int(q * float64(s.N-1))
-	return s.sortedPopulation[idx]
+	pos := q * float64(s.N-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= s.N {
+		hi = s.N - 1
+	}
+	frac := pos - float64(lo)
+	return s.sortedPopulation[lo]*(1-frac) + s.sortedPopulation[hi]*frac
 }

@@ -67,8 +67,14 @@ func TestSummarize(t *testing.T) {
 	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Sum != 10 || s.Mean != 2.5 {
 		t.Errorf("summary = %+v", s)
 	}
-	if s.P50 != 2 { // index int(0.5*3)=1 of sorted [1 2 3 4]
+	if s.P50 != 2.5 { // rank 0.5*3=1.5 of sorted [1 2 3 4] → midpoint of 2 and 3
 		t.Errorf("P50 = %v", s.P50)
+	}
+	if got := s.quantile(0.90); math.Abs(got-3.7) > 1e-12 { // rank 2.7 → 3 + 0.7·(4-3)
+		t.Errorf("P90 = %v", got)
+	}
+	if one := Summarize([]float64{7}); one.P50 != 7 || one.P90 != 7 || one.P99 != 7 {
+		t.Errorf("single-sample quantiles = %+v", one)
 	}
 	if s.StdDev <= 0 {
 		t.Error("stddev should be positive")

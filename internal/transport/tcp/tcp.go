@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"paso/internal/obs"
 	"paso/internal/transport"
 )
 
@@ -32,6 +33,10 @@ type Options struct {
 	// FailTimeout is how long a silent peer stays "up". Default 4×
 	// heartbeat.
 	FailTimeout time.Duration
+	// Obs receives transport metrics (messages/bytes in each direction,
+	// heartbeat misses, peers-up gauge) and peer up/down events. Nil
+	// records into a throwaway sink.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +64,16 @@ type Endpoint struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// Pre-resolved metric handles (one atomic op per hot-path update).
+	o          *obs.Obs
+	cMsgsSent  *obs.Counter
+	cBytesSent *obs.Counter
+	cMsgsRecv  *obs.Counter
+	cBytesRecv *obs.Counter
+	cHBSent    *obs.Counter
+	cHBMiss    *obs.Counter
+	gPeersUp   *obs.Gauge
 }
 
 // peer is the outgoing side of a link.
@@ -89,6 +104,17 @@ func Listen(id transport.NodeID, addr string, opts Options) (*Endpoint, error) {
 		up:       make(map[transport.NodeID]bool),
 		stop:     make(chan struct{}),
 	}
+	e.o = opts.Obs
+	if e.o == nil {
+		e.o = obs.Nop()
+	}
+	e.cMsgsSent = e.o.Counter("transport.msgs.sent")
+	e.cBytesSent = e.o.Counter("transport.bytes.sent")
+	e.cMsgsRecv = e.o.Counter("transport.msgs.recv")
+	e.cBytesRecv = e.o.Counter("transport.bytes.recv")
+	e.cHBSent = e.o.Counter("transport.heartbeats.sent")
+	e.cHBMiss = e.o.Counter("transport.heartbeat.misses")
+	e.gPeersUp = e.o.Gauge("transport.peers.up")
 	e.wg.Add(2)
 	go e.acceptLoop()
 	go e.detectorLoop()
@@ -160,6 +186,8 @@ func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 			return nil // peer unreachable: dropped frame, detector handles it
 		}
 	}
+	e.cMsgsSent.Inc()
+	e.cBytesSent.Add(int64(len(payload)))
 	return nil
 }
 
@@ -253,6 +281,8 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		}
 		e.markSeen(from)
 		if len(payload) > 0 {
+			e.cMsgsRecv.Inc()
+			e.cBytesRecv.Add(int64(len(payload)))
 			e.mbox.Put(transport.Item{Kind: transport.KindMsg, From: from, Payload: payload})
 		}
 	}
@@ -266,6 +296,8 @@ func (e *Endpoint) markSeen(id transport.NodeID) {
 	e.lastSeen[id] = time.Now()
 	e.mu.Unlock()
 	if !wasUp {
+		e.gPeersUp.Add(1)
+		e.o.Emit("peer-up", obs.KV("peer", id))
 		e.mbox.Put(transport.Item{Kind: transport.KindUp, From: id})
 	}
 }
@@ -280,7 +312,13 @@ func (e *Endpoint) heartbeatLoop(id transport.NodeID, p *peer) {
 		case <-e.stop:
 			return
 		case <-ticker.C:
-			_ = e.writeTo(p, nil) // heartbeat; errors handled by detector
+			// A missed heartbeat (unreachable peer) feeds the miss counter;
+			// the failure detector handles the consequences.
+			if err := e.writeTo(p, nil); err != nil {
+				e.cHBMiss.Inc()
+			} else {
+				e.cHBSent.Inc()
+			}
 		}
 	}
 }
@@ -306,6 +344,8 @@ func (e *Endpoint) detectorLoop() {
 			}
 			e.mu.Unlock()
 			for _, id := range downs {
+				e.gPeersUp.Add(-1)
+				e.o.Emit("peer-down", obs.KV("peer", id))
 				e.mbox.Put(transport.Item{Kind: transport.KindDown, From: id})
 			}
 		}

@@ -1,6 +1,9 @@
 package vsync
 
 import (
+	"fmt"
+
+	"paso/internal/obs"
 	"paso/internal/transport"
 )
 
@@ -67,14 +70,18 @@ func (n *Node) apply(g *memberState, orderer transport.NodeID, w *wire) {
 		})
 	case evJoin:
 		subject := tid(w.Subject)
+		old := append([]transport.NodeID(nil), g.members...)
 		g.members = addID(g.members, subject)
 		if tid(w.Donor) == n.self && subject != n.self {
 			n.sendSnapshot(g, subject)
 		}
+		n.emitViewChange(g, "join", subject, old)
 		n.h.ViewChange(g.name, append([]transport.NodeID(nil), g.members...))
 	case evLeave:
 		subject := tid(w.Subject)
+		old := append([]transport.NodeID(nil), g.members...)
 		g.members = removeID(g.members, subject)
+		n.emitViewChange(g, "leave", subject, old)
 		if subject == n.self {
 			n.h.Evict(g.name)
 			delete(n.groups, g.name)
@@ -83,9 +90,24 @@ func (n *Node) apply(g *memberState, orderer transport.NodeID, w *wire) {
 		}
 		n.h.ViewChange(g.name, append([]transport.NodeID(nil), g.members...))
 	case evDown:
-		g.members = removeID(g.members, tid(w.Subject))
+		subject := tid(w.Subject)
+		old := append([]transport.NodeID(nil), g.members...)
+		g.members = removeID(g.members, subject)
+		n.emitViewChange(g, "down", subject, old)
 		n.h.ViewChange(g.name, append([]transport.NodeID(nil), g.members...))
 	}
+}
+
+// emitViewChange records an ordered membership event with the old and new
+// membership, so a live /trace shows exactly how each view evolved.
+func (n *Node) emitViewChange(g *memberState, event string, subject transport.NodeID, old []transport.NodeID) {
+	n.cViewChange.Inc()
+	n.o.Emit("view-change",
+		obs.KV("group", g.name),
+		obs.KV("event", event),
+		obs.KV("subject", subject),
+		obs.KV("old", fmt.Sprint(old)),
+		obs.KV("new", fmt.Sprint(g.members)))
 }
 
 // deliverOnce invokes the handler unless the (origin, reqID) pair was
@@ -114,10 +136,16 @@ func (n *Node) sendSnapshot(g *memberState, to transport.NodeID) {
 		App:       n.h.Snapshot(g.name),
 		Delivered: copyDelivered(g.delivered),
 	}
+	payload := encodeSnapshot(env)
+	n.cStateSent.Add(int64(len(payload)))
+	n.o.Emit("state-transfer",
+		obs.KV("group", g.name),
+		obs.KV("to", to),
+		obs.KV("bytes", len(payload)))
 	n.send(to, &wire{
 		Type:    tState,
 		Group:   g.name,
-		Payload: encodeSnapshot(env),
+		Payload: payload,
 		UpTo:    g.last,
 	})
 }
@@ -136,6 +164,7 @@ func (n *Node) memberState_(from transport.NodeID, w *wire) {
 	if err != nil {
 		return
 	}
+	n.cStateRecv.Add(int64(len(w.Payload)))
 	n.h.Install(g.name, env.App)
 	g.delivered = copyDelivered(env.Delivered)
 	// Everything at or before UpTo is reflected in the snapshot.

@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"sort"
+	"time"
 
+	"paso/internal/obs"
 	"paso/internal/transport"
 )
 
@@ -70,6 +72,16 @@ type Node struct {
 	pending map[uint64]*pendingReq
 	groups  map[string]*memberState
 	cs      *coordState // non-nil while this node is coordinator
+
+	// Observability handles (resolved once at construction).
+	o           *obs.Obs
+	cGcast      *obs.Counter
+	cGcastFail  *obs.Counter
+	hGcastLat   *obs.Histogram
+	cViewChange *obs.Counter
+	cCoordMove  *obs.Counter
+	cStateSent  *obs.Counter
+	cStateRecv  *obs.Counter
 }
 
 // pendingReq is a client-side request awaiting resolution.
@@ -95,6 +107,16 @@ type memberState struct {
 // NewNode attaches a node to the group layer and starts its event loop.
 // The handler h receives deliveries; see Handler for the reentrancy rule.
 func NewNode(ep transport.Endpoint, h Handler) *Node {
+	return NewNodeWith(ep, h, nil)
+}
+
+// NewNodeWith is NewNode with an observability sink: gcast counts and
+// latencies, view-change and coordinator-change events, and state-transfer
+// bytes are recorded there. A nil Obs records into a throwaway sink.
+func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
+	if o == nil {
+		o = obs.Nop()
+	}
 	n := &Node{
 		ep:      ep,
 		h:       h,
@@ -105,6 +127,15 @@ func NewNode(ep transport.Endpoint, h Handler) *Node {
 		live:    make(map[transport.NodeID]bool),
 		pending: make(map[uint64]*pendingReq),
 		groups:  make(map[string]*memberState),
+
+		o:           o,
+		cGcast:      o.Counter("vsync.gcast.total"),
+		cGcastFail:  o.Counter("vsync.gcast.fail"),
+		hGcastLat:   o.Histogram("vsync.gcast.latency.seconds"),
+		cViewChange: o.Counter("vsync.view.changes"),
+		cCoordMove:  o.Counter("vsync.coord.changes"),
+		cStateSent:  o.Counter("vsync.state.bytes.sent"),
+		cStateRecv:  o.Counter("vsync.state.bytes.recv"),
 	}
 	// Request IDs must not collide across incarnations of the same node ID
 	// (a restarted machine's early requests would otherwise be swallowed
@@ -153,6 +184,7 @@ func (n *Node) do(f func()) bool {
 // An empty or unknown group yields a fail Result, mirroring the paper's
 // read returning fail when no server holds a match.
 func (n *Node) Gcast(group string, payload []byte) (Result, error) {
+	start := time.Now()
 	ch := make(chan Result, 1)
 	ok := n.do(func() { n.startRequest(tCastReq, group, payload, ch) })
 	if !ok {
@@ -160,6 +192,11 @@ func (n *Node) Gcast(group string, payload []byte) (Result, error) {
 	}
 	select {
 	case r := <-ch:
+		n.cGcast.Inc()
+		if r.Fail {
+			n.cGcastFail.Inc()
+		}
+		n.hGcastLat.Observe(time.Since(start).Seconds())
 		return r, nil
 	case <-n.done:
 		return Result{}, ErrClosed
@@ -391,6 +428,8 @@ func (n *Node) recomputeCoord() {
 	}
 	old := n.coord
 	n.coord = newCoord
+	n.cCoordMove.Inc()
+	n.o.Emit("coord-change", obs.KV("old", old), obs.KV("new", newCoord))
 	if newCoord == n.self {
 		n.becomeCoordinator()
 	} else if old == n.self {
