@@ -1,0 +1,98 @@
+// Command paso-loadgen drives the end-to-end throughput benchmark: a real
+// TCP cluster under concurrent Insert/Read/ReadDel load from N worker
+// goroutines, measuring ops/sec and latency quantiles from the obs
+// histograms. Each run appends one trajectory point to a JSON file
+// (BENCH_paso.json by default), so the repo tracks its performance over
+// time — the measured counterpart of the §3.3 msg-cost model.
+//
+// Usage:
+//
+//	paso-loadgen                          # 3 machines, 8 workers, 2s
+//	paso-loadgen -machines 5 -workers 32 -duration 10s
+//	paso-loadgen -out BENCH_paso.json -label "PR 2 batched send path"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"paso/internal/experiments"
+)
+
+// trajectory is the BENCH_paso.json schema: an append-only series of
+// measured points, newest last.
+type trajectory struct {
+	Schema string  `json:"schema"`
+	Points []point `json:"points"`
+}
+
+type point struct {
+	Label string    `json:"label,omitempty"`
+	Date  time.Time `json:"date"`
+	experiments.ThroughputResult
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paso-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paso-loadgen", flag.ContinueOnError)
+	machines := fs.Int("machines", 3, "TCP cluster size")
+	workers := fs.Int("workers", 8, "concurrent client goroutines")
+	duration := fs.Duration("duration", 2*time.Second, "measurement window")
+	insertFrac := fs.Float64("insert-frac", 0.4, "fraction of inserts")
+	readFrac := fs.Float64("read-frac", 0.4, "fraction of reads (the rest is read&del)")
+	label := fs.String("label", "", "label recorded with the trajectory point")
+	out := fs.String("out", "", "append the point to this JSON trajectory file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.RunThroughput(experiments.ThroughputConfig{
+		Machines:   *machines,
+		Workers:    *workers,
+		Duration:   *duration,
+		InsertFrac: *insertFrac,
+		ReadFrac:   *readFrac,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table().Render())
+	if *out == "" {
+		return nil
+	}
+	return appendPoint(*out, point{
+		Label:            *label,
+		Date:             time.Now().UTC().Truncate(time.Second),
+		ThroughputResult: *res,
+	})
+}
+
+// appendPoint loads (or creates) the trajectory file and appends one point.
+func appendPoint(path string, p point) error {
+	tr := trajectory{Schema: "paso-bench-trajectory/v1"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	tr.Points = append(tr.Points, p)
+	enc, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended point %d to %s\n", len(tr.Points), path)
+	return nil
+}

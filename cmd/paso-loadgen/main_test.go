@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTrajectoryAppend runs the loadgen twice against the same output file
+// and verifies the trajectory accumulates points instead of overwriting.
+func TestTrajectoryAppend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real TCP cluster; skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_paso.json")
+	args := []string{"-machines", "2", "-workers", "2", "-duration", "100ms", "-out", out, "-label", "test"}
+	for i := 0; i < 2; i++ {
+		if err := run(args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trajectory
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != "paso-bench-trajectory/v1" {
+		t.Fatalf("schema = %q", tr.Schema)
+	}
+	if len(tr.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(tr.Points))
+	}
+	for _, p := range tr.Points {
+		if p.Label != "test" || p.Ops <= 0 || p.OpsPerSec <= 0 {
+			t.Fatalf("bad point: %+v", p)
+		}
+	}
+}
+
+func TestBadFlagErrors(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -125,7 +125,7 @@ func run(args []string) error {
 	fmt.Printf("\n%-8s %-12s %8s %12s %12s %8s\n", "machine", "op", "count", "msg-cost", "work", "fails")
 	for _, m := range space.Cluster().Machines() {
 		for _, kind := range []core.OpKind{
-			core.OpInsert, core.OpReadLocal, core.OpReadRemote, core.OpReadDel, core.OpJoin, core.OpLeave,
+			core.OpInsert, core.OpReadLocal, core.OpReadRemote, core.OpReadDel, core.OpJoin, core.OpLeave, core.OpSwap,
 		} {
 			st, ok := m.Stats()[kind]
 			if !ok || st.Count == 0 {

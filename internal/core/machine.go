@@ -398,12 +398,12 @@ func (m *Machine) Swap(tp tuple.Template, repl tuple.Tuple) (tuple.Tuple, bool, 
 		return tuple.Tuple{}, false, fmt.Errorf("swap: %w", err)
 	}
 	if res.Fail && res.GroupSize == 0 {
-		m.ftcViolation(OpReadDel, cls)
+		m.ftcViolation(OpSwap, cls)
 		return tuple.Tuple{}, false, ErrNoReplicas
 	}
 	old, ok, probes := decodeResult(res)
 	g := float64(res.GroupSize)
-	m.record(OpReadDel, start,
+	m.record(OpSwap, start,
 		m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
 		g*float64(probes), float64(probes)+1, !ok)
 	return old, ok, nil

@@ -25,10 +25,12 @@ const (
 	OpJoin
 	// OpLeave is a policy-triggered g-leave.
 	OpLeave
+	// OpSwap is the atomic swap extension (one ordered remove+insert).
+	OpSwap
 )
 
 // allOpKinds lists every operation kind in Figure 1 row order.
-var allOpKinds = []OpKind{OpInsert, OpReadLocal, OpReadRemote, OpReadDel, OpJoin, OpLeave}
+var allOpKinds = []OpKind{OpInsert, OpReadLocal, OpReadRemote, OpReadDel, OpJoin, OpLeave, OpSwap}
 
 // String names the kind.
 func (k OpKind) String() string {
@@ -45,6 +47,8 @@ func (k OpKind) String() string {
 		return "g-join"
 	case OpLeave:
 		return "g-leave"
+	case OpSwap:
+		return "swap"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}

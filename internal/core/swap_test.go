@@ -180,13 +180,17 @@ func TestSwapCostAccounting(t *testing.T) {
 	if _, err := m.Insert(taskTuple(1)); err != nil {
 		t.Fatal(err)
 	}
-	before := m.Stats()[OpReadDel].Count
+	before := m.Stats()[OpSwap].Count
+	readDelBefore := m.Stats()[OpReadDel].Count
 	if _, ok, err := m.Swap(taskTplExact(1), taskTuple(2)); !ok || err != nil {
 		t.Fatal(ok, err)
 	}
-	st := m.Stats()[OpReadDel]
+	st := m.Stats()[OpSwap]
 	if st.Count != before+1 {
 		t.Fatal("swap not accounted")
+	}
+	if m.Stats()[OpReadDel].Count != readDelBefore {
+		t.Fatal("swap leaked into the read&del row")
 	}
 	if st.MsgCost <= 0 {
 		t.Fatal("swap msg-cost missing")

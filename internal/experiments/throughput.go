@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paso/internal/class"
+	"paso/internal/core"
+	"paso/internal/obs"
+	"paso/internal/stats"
+	"paso/internal/storage"
+	"paso/internal/transport"
+	"paso/internal/transport/tcp"
+	"paso/internal/tuple"
+)
+
+// ThroughputConfig drives a multi-worker load run against a real TCP
+// cluster — the end-to-end measured counterpart of the §3.3 msg-cost
+// model, exercising the batched transport and vsync send paths under
+// pipelined load.
+type ThroughputConfig struct {
+	// Machines is the TCP cluster size. Default 3.
+	Machines int
+	// Workers is the number of concurrent client goroutines, spread
+	// round-robin over the machines. Default 8.
+	Workers int
+	// Duration is the measurement window. Ignored when TotalOps > 0.
+	// Default 2s.
+	Duration time.Duration
+	// TotalOps, when positive, runs exactly this many operations instead
+	// of a timed window (what testing.B needs).
+	TotalOps int
+	// InsertFrac and ReadFrac set the op mix; the remainder is read&del.
+	// Defaults 0.4/0.4 (so 0.2 read&del).
+	InsertFrac, ReadFrac float64
+	// Preload seeds the space with this many tuples before measuring so
+	// early reads hit. Default 256.
+	Preload int
+	// Seed makes the op mix reproducible. Default 1.
+	Seed int64
+	// Obs receives the harness histograms and the shared transport
+	// metrics of every endpoint (flush batching, frames, bytes). Nil uses
+	// a private sink.
+	Obs *obs.Obs
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.Machines <= 0 {
+		c.Machines = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.InsertFrac <= 0 {
+		c.InsertFrac = 0.4
+	}
+	if c.ReadFrac <= 0 {
+		c.ReadFrac = 0.4
+	}
+	if c.Preload <= 0 {
+		c.Preload = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Nop()
+	}
+	return c
+}
+
+// LatencySummary is one op population's wall-clock latency profile,
+// extracted from the harness's obs histograms.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// ThroughputResult is one trajectory point of the end-to-end benchmark.
+type ThroughputResult struct {
+	Machines  int     `json:"machines"`
+	Workers   int     `json:"workers"`
+	Ops       int64   `json:"ops"`
+	Fails     int64   `json:"fails"`
+	ElapsedS  float64 `json:"elapsed_s"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	Total LatencySummary            `json:"latency"`
+	PerOp map[string]LatencySummary `json:"per_op"`
+
+	// Transport-level evidence of the batching win: how many frames each
+	// flush (syscall) carried, summed over every endpoint in the cluster.
+	FramesSent     int64   `json:"frames_sent"`
+	Flushes        int64   `json:"flushes"`
+	FramesPerFlush float64 `json:"frames_per_flush"`
+	BytesSent      int64   `json:"bytes_sent"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	s := h.Snapshot()
+	return LatencySummary{
+		Count:  s.Count,
+		MeanMs: s.Mean * 1e3,
+		P50Ms:  s.P50 * 1e3,
+		P90Ms:  s.P90 * 1e3,
+		P99Ms:  s.P99 * 1e3,
+	}
+}
+
+// RunThroughput stands up a real TCP cluster, drives the op mix from
+// concurrent workers, and reports ops/sec plus latency quantiles from the
+// obs histograms.
+func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	o := cfg.Obs
+
+	topts := tcp.Options{
+		HeartbeatInterval: 10 * time.Millisecond,
+		FailTimeout:       500 * time.Millisecond,
+		Obs:               o,
+	}
+	mcfg := core.Config{
+		Classifier: class.NewNameArity([]string{"job"}, 3),
+		Lambda:     1,
+		StoreKind:  storage.KindHash,
+	}
+	if cfg.Machines < 2 {
+		mcfg.Lambda = 0
+	}
+	basics := mcfg.Classifier.Classes()
+
+	eps := make([]*tcp.Endpoint, cfg.Machines)
+	for i := range eps {
+		ep, err := tcp.Listen(transport.NodeID(i+1), "127.0.0.1:0", topts)
+		if err != nil {
+			return nil, fmt.Errorf("throughput: %w", err)
+		}
+		eps[i] = ep
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	for i, ep := range eps {
+		for j, pep := range eps {
+			if i != j {
+				ep.AddPeer(pep.ID(), pep.Addr())
+			}
+		}
+	}
+	// Let the failure detectors converge before joining groups.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		converged := true
+		for _, ep := range eps {
+			if len(ep.Alive()) != cfg.Machines {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("throughput: detectors never converged")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Machines start concurrently, as separate pasod processes would.
+	machines := make([]*core.Machine, cfg.Machines)
+	errs := make([]error, cfg.Machines)
+	var swg sync.WaitGroup
+	for i := range machines {
+		swg.Add(1)
+		go func(i int) {
+			defer swg.Done()
+			var b []class.ID
+			if i < mcfg.Lambda+1 {
+				b = basics
+			}
+			machines[i], errs[i] = core.StartMachine(eps[i], mcfg, b, 1)
+		}(i)
+	}
+	swg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("throughput: machine %d: %w", i+1, err)
+		}
+	}
+	defer func() {
+		for _, m := range machines {
+			m.Stop()
+		}
+	}()
+
+	tpl := tuple.NewTemplate(tuple.Eq(tuple.String("job")), tuple.Any(tuple.KindInt))
+	for i := 0; i < cfg.Preload; i++ {
+		if _, err := machines[i%len(machines)].Insert(
+			tuple.Make(tuple.String("job"), tuple.Int(int64(i)))); err != nil {
+			return nil, fmt.Errorf("throughput: preload: %w", err)
+		}
+	}
+
+	hAll := o.Histogram("bench.op.latency.seconds")
+	hKind := map[string]*obs.Histogram{
+		"insert":   o.Histogram("bench.op.insert.latency.seconds"),
+		"read":     o.Histogram("bench.op.read.latency.seconds"),
+		"read&del": o.Histogram("bench.op.readdel.latency.seconds"),
+	}
+	flushesBefore := o.Counter("transport.flushes").Value()
+	framesBefore := o.Counter("transport.flush.frames").Value()
+	bytesBefore := o.Counter("transport.bytes.sent").Value()
+
+	var ops, fails int64
+	var quota int64 = int64(cfg.TotalOps)
+	stop := make(chan struct{})
+	if quota == 0 {
+		timer := time.AfterFunc(cfg.Duration, func() { close(stop) })
+		defer timer.Stop()
+	}
+	start := time.Now()
+	var wwg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			m := machines[w%len(machines)]
+			for seq := int64(0); ; seq++ {
+				if quota > 0 {
+					if atomic.AddInt64(&ops, 1) > quota {
+						atomic.AddInt64(&ops, -1)
+						return
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					atomic.AddInt64(&ops, 1)
+				}
+				var kind string
+				begin := time.Now()
+				var err error
+				switch p := r.Float64(); {
+				case p < cfg.InsertFrac:
+					kind = "insert"
+					_, err = m.Insert(tuple.Make(tuple.String("job"), tuple.Int(seq)))
+				case p < cfg.InsertFrac+cfg.ReadFrac:
+					kind = "read"
+					_, _, err = m.Read(tpl)
+				default:
+					kind = "read&del"
+					_, _, err = m.ReadDel(tpl)
+				}
+				lat := time.Since(begin).Seconds()
+				hAll.Observe(lat)
+				hKind[kind].Observe(lat)
+				if err != nil {
+					atomic.AddInt64(&fails, 1)
+				}
+			}
+		}(w)
+	}
+	wwg.Wait()
+	elapsed := time.Since(start)
+
+	res := &ThroughputResult{
+		Machines:  cfg.Machines,
+		Workers:   cfg.Workers,
+		Ops:       ops,
+		Fails:     fails,
+		ElapsedS:  elapsed.Seconds(),
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		Total:     summarize(hAll),
+		PerOp:     make(map[string]LatencySummary, len(hKind)),
+	}
+	for k, h := range hKind {
+		res.PerOp[k] = summarize(h)
+	}
+	res.Flushes = o.Counter("transport.flushes").Value() - flushesBefore
+	res.FramesSent = o.Counter("transport.flush.frames").Value() - framesBefore
+	res.BytesSent = o.Counter("transport.bytes.sent").Value() - bytesBefore
+	if res.Flushes > 0 {
+		res.FramesPerFlush = float64(res.FramesSent) / float64(res.Flushes)
+	}
+	return res, nil
+}
+
+// Table renders the result in the experiment-table idiom.
+func (r *ThroughputResult) Table() *stats.Table {
+	tb := stats.NewTable("E17", "end-to-end throughput over TCP (batched send path)",
+		"op", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms")
+	for _, k := range []string{"insert", "read", "read&del"} {
+		s := r.PerOp[k]
+		tb.AddRow(k, stats.D(int(s.Count)), stats.F(s.MeanMs),
+			stats.F(s.P50Ms), stats.F(s.P90Ms), stats.F(s.P99Ms))
+	}
+	tb.AddRow("all", stats.D(int(r.Total.Count)), stats.F(r.Total.MeanMs),
+		stats.F(r.Total.P50Ms), stats.F(r.Total.P90Ms), stats.F(r.Total.P99Ms))
+	tb.AddNote("machines=%d workers=%d ops/sec=%.0f fails=%d frames/flush=%.2f",
+		r.Machines, r.Workers, r.OpsPerSec, r.Fails, r.FramesPerFlush)
+	return tb
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"paso/internal/obs"
+)
+
+// TestRunThroughputSmall exercises the end-to-end TCP harness with a small
+// fixed quota and checks the result's internal consistency.
+func TestRunThroughputSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp throughput harness is slow; skipped in -short mode")
+	}
+	o := obs.New(obs.Options{})
+	res, err := RunThroughput(ThroughputConfig{
+		Machines: 2,
+		Workers:  4,
+		TotalOps: 200,
+		Preload:  32,
+		Obs:      o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 200 {
+		t.Fatalf("ops = %d, want 200", res.Ops)
+	}
+	if res.Fails != 0 {
+		t.Fatalf("fails = %d", res.Fails)
+	}
+	if res.OpsPerSec <= 0 {
+		t.Fatal("degenerate ops/sec")
+	}
+	if res.Total.Count != 200 {
+		t.Fatalf("latency histogram count = %d, want 200", res.Total.Count)
+	}
+	var perOp uint64
+	for _, s := range res.PerOp {
+		perOp += s.Count
+	}
+	if perOp != 200 {
+		t.Fatalf("per-op counts sum to %d, want 200", perOp)
+	}
+	if res.Total.P50Ms <= 0 || res.Total.P99Ms < res.Total.P50Ms {
+		t.Fatalf("implausible quantiles: %+v", res.Total)
+	}
+	if res.Flushes <= 0 || res.FramesSent < res.Flushes {
+		t.Fatalf("flush accounting: frames=%d flushes=%d", res.FramesSent, res.Flushes)
+	}
+	if tb := res.Table(); tb.Rows() != 4 {
+		t.Fatalf("table rows = %d, want 4", tb.Rows())
+	}
+}

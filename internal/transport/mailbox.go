@@ -79,7 +79,14 @@ func (m *Mailbox) pump() {
 			return
 		}
 		it := m.queue[0]
+		m.queue[0] = Item{} // release the payload reference now, not at overwrite
 		m.queue = m.queue[1:]
+		if len(m.queue) == 0 {
+			// Fully drained: drop the backing array. Reslicing alone would
+			// pin the burst's high-water-mark allocation (and every popped
+			// prefix) for the life of the endpoint.
+			m.queue = nil
+		}
 		m.mu.Unlock()
 
 		// Deliver outside the lock so Put never waits on the consumer;

@@ -86,6 +86,38 @@ func TestMailboxCloseWithStuckConsumer(t *testing.T) {
 	}
 }
 
+func TestMailboxReleasesBackingArrayWhenDrained(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+	const burst = 4096
+	for i := 0; i < burst; i++ {
+		m.Put(Item{Kind: KindMsg, From: NodeID(i), Payload: make([]byte, 1024)})
+	}
+	for i := 0; i < burst; i++ {
+		<-m.Out()
+	}
+	// The pump blocks handing the last item to us before it re-checks the
+	// queue, so poll until it has observed the drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.mu.Lock()
+		released := m.queue == nil
+		m.mu.Unlock()
+		if released {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("backing array still pinned after a full drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The mailbox must keep working after the reset.
+	m.Put(Item{Kind: KindMsg, From: 7})
+	if it := <-m.Out(); it.From != 7 {
+		t.Fatalf("post-drain delivery got %+v", it)
+	}
+}
+
 func TestItemKindString(t *testing.T) {
 	if KindMsg.String() != "msg" || KindUp.String() != "up" || KindDown.String() != "down" {
 		t.Error("kind names wrong")

@@ -11,9 +11,18 @@
 //
 // Frame format: 4-byte little-endian length, 8-byte sender id, payload.
 // A frame with empty payload is a heartbeat/hello.
+//
+// The send path is asynchronous and batched: each peer has a bounded send
+// queue drained by a dedicated writer goroutine. The writer dials on its
+// own schedule (a dead peer's dial timeout never runs on a sender's
+// goroutine), writes queued frames through a bufio.Writer, and flushes
+// once per drained batch — k frames queued behind one another cost one
+// syscall instead of k, amortizing the per-message α of the paper's
+// msg-cost(m) = α + β·|m| model (§3.3).
 package tcp
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -25,17 +34,30 @@ import (
 	"paso/internal/transport"
 )
 
+// Send-path tuning.
+const (
+	// sendQueueCap bounds each peer's send queue. A full queue exerts
+	// backpressure on senders (Send blocks) until the writer drains it;
+	// frames to an unreachable peer are dropped in bulk instead, so the
+	// queue never stays full behind a dead peer.
+	sendQueueCap = 1024
+	// maxBatchFrames caps how many queued frames one flush coalesces.
+	maxBatchFrames = 256
+	// writeBufSize is the bufio.Writer size on each outgoing connection.
+	writeBufSize = 64 << 10
+)
+
 // Options tunes the failure detector.
 type Options struct {
 	// HeartbeatInterval is how often idle connections send heartbeats.
-	// Default 50ms.
+	// Default 50ms. It doubles as the redial backoff after a failed dial.
 	HeartbeatInterval time.Duration
 	// FailTimeout is how long a silent peer stays "up". Default 4×
 	// heartbeat.
 	FailTimeout time.Duration
 	// Obs receives transport metrics (messages/bytes in each direction,
-	// heartbeat misses, peers-up gauge) and peer up/down events. Nil
-	// records into a throwaway sink.
+	// heartbeat misses, peers-up gauge, flush batching) and peer up/down
+	// events. Nil records into a throwaway sink.
 	Obs *obs.Obs
 }
 
@@ -66,22 +88,53 @@ type Endpoint struct {
 	wg   sync.WaitGroup
 
 	// Pre-resolved metric handles (one atomic op per hot-path update).
-	o          *obs.Obs
-	cMsgsSent  *obs.Counter
-	cBytesSent *obs.Counter
-	cMsgsRecv  *obs.Counter
-	cBytesRecv *obs.Counter
-	cHBSent    *obs.Counter
-	cHBMiss    *obs.Counter
-	gPeersUp   *obs.Gauge
+	o            *obs.Obs
+	cMsgsSent    *obs.Counter
+	cBytesSent   *obs.Counter
+	cMsgsRecv    *obs.Counter
+	cBytesRecv   *obs.Counter
+	cHBSent      *obs.Counter
+	cHBMiss      *obs.Counter
+	gPeersUp     *obs.Gauge
+	cFlushes     *obs.Counter
+	cFlushFrames *obs.Counter
+	hFlushBatch  *obs.Histogram
+	cSendDrops   *obs.Counter
+	cSendStalls  *obs.Counter
 }
 
-// peer is the outgoing side of a link.
+// outFrame is one queued outgoing frame. hb marks heartbeats (and the
+// hello), which are counted separately from data frames.
+type outFrame struct {
+	payload []byte
+	hb      bool
+}
+
+// peer is the outgoing side of a link: a bounded queue drained by one
+// writer goroutine that owns the connection.
 type peer struct {
 	addr string
+	q    chan outFrame
 
+	// conn mirrors the writer's current connection so Close can interrupt
+	// a blocked write. The writer alone dials and replaces it.
 	mu   sync.Mutex
 	conn net.Conn
+}
+
+func (p *peer) setConn(c net.Conn) {
+	p.mu.Lock()
+	p.conn = c
+	p.mu.Unlock()
+}
+
+func (p *peer) closeConn() {
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.mu.Unlock()
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
@@ -115,6 +168,11 @@ func Listen(id transport.NodeID, addr string, opts Options) (*Endpoint, error) {
 	e.cHBSent = e.o.Counter("transport.heartbeats.sent")
 	e.cHBMiss = e.o.Counter("transport.heartbeat.misses")
 	e.gPeersUp = e.o.Gauge("transport.peers.up")
+	e.cFlushes = e.o.Counter("transport.flushes")
+	e.cFlushFrames = e.o.Counter("transport.flush.frames")
+	e.hFlushBatch = e.o.Histogram("transport.flush.batch")
+	e.cSendDrops = e.o.Counter("transport.send.drops")
+	e.cSendStalls = e.o.Counter("transport.send.stalls")
 	e.wg.Add(2)
 	go e.acceptLoop()
 	go e.detectorLoop()
@@ -124,17 +182,19 @@ func Listen(id transport.NodeID, addr string, opts Options) (*Endpoint, error) {
 // Addr returns the listener's address.
 func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
 
-// AddPeer registers a peer's dial address and starts heartbeating it.
+// AddPeer registers a peer's dial address, starting its writer and
+// heartbeater.
 func (e *Endpoint) AddPeer(id transport.NodeID, addr string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, exists := e.peers[id]; exists || id == e.id {
+	if _, exists := e.peers[id]; exists || id == e.id || e.closed {
 		return
 	}
-	p := &peer{addr: addr}
+	p := &peer{addr: addr, q: make(chan outFrame, sendQueueCap)}
 	e.peers[id] = p
-	e.wg.Add(1)
-	go e.heartbeatLoop(id, p)
+	e.wg.Add(2)
+	go e.writerLoop(p)
+	go e.heartbeatLoop(p)
 }
 
 // ID implements transport.Endpoint.
@@ -157,8 +217,11 @@ func (e *Endpoint) Alive() []transport.NodeID {
 	return out
 }
 
-// Send implements transport.Endpoint. Sending to an unknown or down peer
-// silently drops, as on a LAN.
+// Send implements transport.Endpoint. The frame is queued for the peer's
+// writer goroutine; the payload is retained until written and must not be
+// mutated after Send returns. Sending to an unknown or down peer silently
+// drops, as on a LAN. A full queue to a live peer blocks (backpressure)
+// until the writer drains it or the endpoint closes.
 func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 	e.mu.Lock()
 	if e.closed {
@@ -179,41 +242,135 @@ func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 	if p == nil {
 		return nil
 	}
-	if err := e.writeTo(p, payload); err != nil {
-		// One retry after a fresh dial: the previous connection may have
-		// died while idle.
-		if err := e.writeTo(p, payload); err != nil {
-			return nil // peer unreachable: dropped frame, detector handles it
-		}
+	f := outFrame{payload: payload}
+	select {
+	case p.q <- f:
+		return nil
+	default:
 	}
-	e.cMsgsSent.Inc()
-	e.cBytesSent.Add(int64(len(payload)))
-	return nil
+	e.cSendStalls.Inc()
+	select {
+	case p.q <- f:
+		return nil
+	case <-e.stop:
+		return transport.ErrClosed
+	}
 }
 
-// writeTo sends one frame on the peer's connection, dialing if needed.
-func (e *Endpoint) writeTo(p *peer, payload []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.conn == nil {
-		conn, err := net.DialTimeout("tcp", p.addr, time.Second)
-		if err != nil {
-			return err
+// writerLoop owns one peer's connection: it dials lazily, coalesces
+// queued frames through a buffered writer, and flushes once per batch.
+// Frames bound for an unreachable peer are dropped in bulk so the queue
+// never backs up behind a dead peer.
+func (e *Endpoint) writerLoop(p *peer) {
+	defer e.wg.Done()
+	defer p.closeConn()
+	var bw *bufio.Writer
+	var hdr [12]byte
+	var lastDialFail time.Time
+	batch := make([]outFrame, 0, maxBatchFrames)
+	for {
+		var f outFrame
+		select {
+		case <-e.stop:
+			return
+		case f = <-p.q:
 		}
-		p.conn = conn
-		// Hello frame: announces our identity before any data.
-		if err := writeFrame(conn, e.id, nil); err != nil {
-			conn.Close()
-			p.conn = nil
-			return err
+		if bw == nil {
+			// No connection. Inside the redial backoff window the peer is
+			// presumed unreachable: drop the backlog instead of stalling
+			// senders behind a doomed dial.
+			if time.Since(lastDialFail) < e.opts.HeartbeatInterval {
+				e.dropFrame(f)
+				e.drainAndDrop(p)
+				continue
+			}
+			conn, err := net.DialTimeout("tcp", p.addr, time.Second)
+			if err != nil {
+				lastDialFail = time.Now()
+				e.dropFrame(f)
+				e.drainAndDrop(p)
+				continue
+			}
+			p.setConn(conn)
+			bw = bufio.NewWriterSize(conn, writeBufSize)
+			// Hello frame: announces our identity before any data. It
+			// rides in the same flush as the batch that triggered the dial.
+			if err := writeFrameTo(bw, &hdr, e.id, nil); err != nil {
+				p.closeConn()
+				bw = nil
+				e.dropFrame(f)
+				continue
+			}
+		}
+		// Coalesce whatever else is already queued, then write the batch
+		// through the buffer and flush once: k frames, one syscall.
+		batch = append(batch[:0], f)
+		for len(batch) < maxBatchFrames {
+			select {
+			case more := <-p.q:
+				batch = append(batch, more)
+			default:
+				goto write
+			}
+		}
+	write:
+		var werr error
+		for _, fr := range batch {
+			if werr = writeFrameTo(bw, &hdr, e.id, fr.payload); werr != nil {
+				break
+			}
+		}
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		if werr != nil {
+			for _, fr := range batch {
+				e.dropFrame(fr)
+			}
+			p.closeConn()
+			bw = nil
+			continue
+		}
+		var msgs, bytes int64
+		for _, fr := range batch {
+			if fr.hb {
+				e.cHBSent.Inc()
+			} else {
+				msgs++
+				bytes += int64(len(fr.payload))
+			}
+		}
+		if msgs > 0 {
+			e.cMsgsSent.Add(msgs)
+			e.cBytesSent.Add(bytes)
+		}
+		e.cFlushes.Inc()
+		e.cFlushFrames.Add(int64(len(batch)))
+		e.hFlushBatch.Observe(float64(len(batch)))
+	}
+}
+
+// dropFrame accounts for one undeliverable frame: heartbeat misses feed
+// the detector's counter, data drops their own.
+func (e *Endpoint) dropFrame(f outFrame) {
+	if f.hb {
+		e.cHBMiss.Inc()
+	} else {
+		e.cSendDrops.Inc()
+	}
+}
+
+// drainAndDrop empties a peer's queue, dropping every frame (the peer is
+// unreachable; on a LAN those frames are simply lost).
+func (e *Endpoint) drainAndDrop(p *peer) {
+	for {
+		select {
+		case f := <-p.q:
+			e.dropFrame(f)
+		default:
+			return
 		}
 	}
-	if err := writeFrame(p.conn, e.id, payload); err != nil {
-		p.conn.Close()
-		p.conn = nil
-		return err
-	}
-	return nil
 }
 
 // Close implements transport.Endpoint.
@@ -231,13 +388,10 @@ func (e *Endpoint) Close() error {
 	}
 	e.mu.Unlock()
 	e.ln.Close()
+	// Interrupt writers blocked in a socket write; they observe the error
+	// (or the closed stop channel) and exit.
 	for _, p := range peers {
-		p.mu.Lock()
-		if p.conn != nil {
-			p.conn.Close()
-			p.conn = nil
-		}
-		p.mu.Unlock()
+		p.closeConn()
 	}
 	e.wg.Wait()
 	e.mbox.Close()
@@ -264,6 +418,7 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 	defer conn.Close()
 	var from transport.NodeID
 	first := true
+	br := bufio.NewReaderSize(conn, writeBufSize)
 	for {
 		select {
 		case <-e.stop:
@@ -271,7 +426,7 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		default:
 		}
 		_ = conn.SetReadDeadline(time.Now().Add(e.opts.FailTimeout * 2))
-		sender, payload, err := readFrame(conn)
+		sender, payload, err := readFrame(br)
 		if err != nil {
 			return
 		}
@@ -302,8 +457,10 @@ func (e *Endpoint) markSeen(id transport.NodeID) {
 	}
 }
 
-// heartbeatLoop keeps one outgoing link warm.
-func (e *Endpoint) heartbeatLoop(id transport.NodeID, p *peer) {
+// heartbeatLoop keeps one outgoing link warm by queueing a heartbeat
+// frame each tick. A congested queue is skipped — the data frames already
+// in it prove liveness to the receiver just as well.
+func (e *Endpoint) heartbeatLoop(p *peer) {
 	defer e.wg.Done()
 	ticker := time.NewTicker(e.opts.HeartbeatInterval)
 	defer ticker.Stop()
@@ -312,12 +469,9 @@ func (e *Endpoint) heartbeatLoop(id transport.NodeID, p *peer) {
 		case <-e.stop:
 			return
 		case <-ticker.C:
-			// A missed heartbeat (unreachable peer) feeds the miss counter;
-			// the failure detector handles the consequences.
-			if err := e.writeTo(p, nil); err != nil {
-				e.cHBMiss.Inc()
-			} else {
-				e.cHBSent.Inc()
+			select {
+			case p.q <- outFrame{hb: true}:
+			default:
 			}
 		}
 	}
@@ -356,11 +510,12 @@ func (e *Endpoint) detectorLoop() {
 
 const maxFrame = 64 << 20 // 64 MiB: state transfers can be large
 
-func writeFrame(w io.Writer, from transport.NodeID, payload []byte) error {
-	hdr := make([]byte, 12)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+// writeFrameTo writes one frame using the caller's header scratch buffer
+// (hot path: no per-frame allocation).
+func writeFrameTo(w io.Writer, hdr *[12]byte, from transport.NodeID, payload []byte) error {
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(from))
-	if _, err := w.Write(hdr); err != nil {
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
 	if len(payload) > 0 {
@@ -371,12 +526,17 @@ func writeFrame(w io.Writer, from transport.NodeID, payload []byte) error {
 	return nil
 }
 
+func writeFrame(w io.Writer, from transport.NodeID, payload []byte) error {
+	var hdr [12]byte
+	return writeFrameTo(w, &hdr, from, payload)
+}
+
 func readFrame(r io.Reader) (transport.NodeID, []byte, error) {
-	hdr := make([]byte, 12)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr)
+	n := binary.LittleEndian.Uint32(hdr[:])
 	from := transport.NodeID(binary.LittleEndian.Uint64(hdr[4:]))
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)

@@ -73,6 +73,12 @@ type Node struct {
 	groups  map[string]*memberState
 	cs      *coordState // non-nil while this node is coordinator
 
+	// Outgoing frames are staged here and flushed once per loop burst:
+	// messages bound for the same peer coalesce into one tBatch frame, so
+	// a burst of k ordered events costs one frame's α instead of k (§3.3).
+	outbox      map[transport.NodeID][]*wire
+	outboxOrder []transport.NodeID
+
 	// Observability handles (resolved once at construction).
 	o           *obs.Obs
 	cGcast      *obs.Counter
@@ -82,6 +88,9 @@ type Node struct {
 	cCoordMove  *obs.Counter
 	cStateSent  *obs.Counter
 	cStateRecv  *obs.Counter
+	cBatchSends *obs.Counter
+	cBatchMsgs  *obs.Counter
+	hBatchOcc   *obs.Histogram
 }
 
 // pendingReq is a client-side request awaiting resolution.
@@ -127,6 +136,7 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 		live:    make(map[transport.NodeID]bool),
 		pending: make(map[uint64]*pendingReq),
 		groups:  make(map[string]*memberState),
+		outbox:  make(map[transport.NodeID][]*wire),
 
 		o:           o,
 		cGcast:      o.Counter("vsync.gcast.total"),
@@ -136,6 +146,9 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 		cCoordMove:  o.Counter("vsync.coord.changes"),
 		cStateSent:  o.Counter("vsync.state.bytes.sent"),
 		cStateRecv:  o.Counter("vsync.state.bytes.recv"),
+		cBatchSends: o.Counter("vsync.batch.sends"),
+		cBatchMsgs:  o.Counter("vsync.batch.msgs"),
+		hBatchOcc:   o.Histogram("vsync.batch.occupancy"),
 	}
 	// Request IDs must not collide across incarnations of the same node ID
 	// (a restarted machine's early requests would otherwise be swallowed
@@ -314,10 +327,20 @@ func (n *Node) Alive() []transport.NodeID {
 
 // --- event loop ---
 
+// maxLoopBurst bounds how many already-pending commands and transport
+// items one loop iteration absorbs before flushing the outbox. It caps
+// both latency (a flush is never deferred past this many steps) and the
+// size of any one coalesced batch.
+const maxLoopBurst = 64
+
 func (n *Node) loop() {
 	defer close(n.done)
 	defer n.failAllPending()
 	for {
+		// Flush before blocking: frames staged by the previous burst (or
+		// by initialization, which runs before the loop starts) must not
+		// wait for the next event.
+		n.flushOutbox()
 		select {
 		case <-n.stop:
 			return
@@ -329,7 +352,51 @@ func (n *Node) loop() {
 			}
 			n.handleItem(it)
 		}
+		// Opportunistic burst: absorb whatever is already pending so the
+		// resulting frames coalesce per destination into one tBatch.
+	burst:
+		for i := 0; i < maxLoopBurst; i++ {
+			select {
+			case f := <-n.cmds:
+				f()
+			case it, ok := <-n.ep.Recv():
+				if !ok {
+					n.flushOutbox()
+					return
+				}
+				n.handleItem(it)
+			default:
+				break burst
+			}
+		}
 	}
+}
+
+// flushOutbox transmits every staged frame, coalescing multiple messages
+// to the same destination into one tBatch envelope.
+func (n *Node) flushOutbox() {
+	if len(n.outboxOrder) == 0 {
+		return
+	}
+	for _, to := range n.outboxOrder {
+		ws := n.outbox[to]
+		delete(n.outbox, to)
+		switch len(ws) {
+		case 0:
+		case 1:
+			n.xmit(to, ws[0])
+		default:
+			batch := make([]wire, len(ws))
+			for i, w := range ws {
+				batch[i] = *w
+			}
+			n.cBatchSends.Inc()
+			n.cBatchMsgs.Add(int64(len(ws)))
+			n.hBatchOcc.Observe(float64(len(ws)))
+			n.xmit(to, &wire{Type: tBatch, Batch: batch})
+		}
+	}
+	n.outboxOrder = n.outboxOrder[:0]
 }
 
 func (n *Node) failAllPending() {
@@ -398,6 +465,12 @@ func (n *Node) dispatch(from transport.NodeID, w *wire) {
 		n.memberRestate(from, w)
 	case tApp:
 		n.h.AppMessage(from, w.Payload)
+	case tBatch:
+		// Unpack in send order: per-sender FIFO within the batch matches
+		// what separate frames would have delivered.
+		for i := range w.Batch {
+			n.dispatch(from, &w.Batch[i])
+		}
 	}
 }
 
@@ -408,8 +481,18 @@ func (n *Node) SendApp(to transport.NodeID, payload []byte) error {
 	return n.ep.Send(to, encodeWire(&wire{Type: tApp, Payload: payload}))
 }
 
-// send serializes and transmits a wire message.
+// send stages a wire message for the destination; the loop flushes the
+// outbox after each burst, coalescing same-destination messages into one
+// frame. Only loop-owned code (and pre-loop initialization) may call it.
 func (n *Node) send(to transport.NodeID, w *wire) {
+	if _, ok := n.outbox[to]; !ok {
+		n.outboxOrder = append(n.outboxOrder, to)
+	}
+	n.outbox[to] = append(n.outbox[to], w)
+}
+
+// xmit serializes and transmits one frame immediately.
+func (n *Node) xmit(to transport.NodeID, w *wire) {
 	_ = n.ep.Send(to, encodeWire(w)) // closed endpoint: loop exits soon
 }
 

@@ -56,6 +56,7 @@ const (
 	tResync                      // coordinator → donor: push state to laggard
 	tApp                         // application point-to-point message
 	tRestate                     // coordinator → member: your series diverged; wipe and rejoin
+	tBatch                       // container: several messages coalesced into one frame
 )
 
 // eventKind discriminates sequenced events inside tOrdered.
@@ -84,6 +85,12 @@ type wire struct {
 	Size    int // |group| at ordering time, piggybacked on replies
 	UpTo    uint64
 	Infos   map[string]syncInfo // tSyncInfo only
+	// Batch carries the coalesced messages of a tBatch frame, in send
+	// order. The receiver dispatches them in sequence, so per-destination
+	// FIFO — and with it the total order of tOrdered events — is exactly
+	// what an unbatched send would have produced; only the per-frame α
+	// cost is amortized (§3.3).
+	Batch []wire
 }
 
 // syncInfo is one node's report about one group during recovery.

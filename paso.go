@@ -100,6 +100,7 @@ const (
 	OpReadDel    = core.OpReadDel
 	OpJoin       = core.OpJoin
 	OpLeave      = core.OpLeave
+	OpSwap       = core.OpSwap
 )
 
 // AnyInt matches any int field.
