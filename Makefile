@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check clean
+.PHONY: build test race vet bench doccheck chaos check clean
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,17 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./
 
-check: build vet test race
+# Doc comments on vsync/simnet/faults are normative (FAULTS.md, PROTOCOL.md).
+doccheck:
+	$(GO) test -run TestExportedDocs ./internal/lint/
+
+# Deterministic fault-injection smoke under the race detector; failures
+# replay bit-identically from the same seed (README, "Chaos testing").
+chaos:
+	$(GO) run -race ./cmd/paso-chaos -scenario rolling-crash -seed 42
+	$(GO) run -race ./cmd/paso-chaos -scenario flapping-partition -seed 7
+
+check: build vet test race doccheck
 
 clean:
 	rm -rf bin/

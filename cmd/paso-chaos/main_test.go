@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChaosBitReproducible runs the same scenario+seed twice through the
+// CLI entry point and demands byte-identical reports — the acceptance
+// contract from FAULTS.md §5.
+func TestChaosBitReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario run")
+	}
+	args := []string{"-scenario", "rolling-crash", "-seed", "42", "-n", "4", "-rounds", "1"}
+	var a, b bytes.Buffer
+	if code, err := run(args, &a); err != nil || code != 0 {
+		t.Fatalf("first run: code=%d err=%v\n%s", code, err, a.String())
+	}
+	if code, err := run(args, &b); err != nil || code != 0 {
+		t.Fatalf("second run: code=%d err=%v\n%s", code, err, b.String())
+	}
+	if a.String() != b.String() {
+		t.Fatalf("reports differ across identical runs:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "verdict: OK") {
+		t.Fatalf("missing verdict in report:\n%s", a.String())
+	}
+}
+
+func TestChaosList(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-list"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("list: code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"rolling-crash", "flapping-partition", "lossy-link", "slow-coordinator"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestChaosUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if code, _ := run(nil, &buf); code != 2 {
+		t.Errorf("missing -scenario: code = %d, want 2", code)
+	}
+	if code, _ := run([]string{"-scenario", "nope"}, &buf); code != 2 {
+		t.Errorf("unknown scenario: code = %d, want 2", code)
+	}
+	if code, _ := run([]string{"-bogus-flag"}, &buf); code != 2 {
+		t.Errorf("bad flag: code = %d, want 2", code)
+	}
+}
+
+func TestChaosEventLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario run")
+	}
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	var buf bytes.Buffer
+	code, err := run([]string{"-scenario", "slow-coordinator", "-seed", "3", "-n", "4", "-rounds", "1", "-log", path}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fault-injected") {
+		t.Errorf("event log has no fault-injected events:\n%.500s", data)
+	}
+}

@@ -261,6 +261,16 @@ func (c *Cluster) Restart(id transport.NodeID) error {
 	return c.startMachine(id)
 }
 
+// Lambda returns the configured crash tolerance λ (§3.1).
+func (c *Cluster) Lambda() int { return c.cfg.Lambda }
+
+// Classes returns the classifier's class universe, sorted.
+func (c *Cluster) Classes() []class.ID {
+	out := append([]class.ID(nil), c.cfg.Classifier.Classes()...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Down reports how many machines are currently failed (k in §4.1).
 func (c *Cluster) Down() int {
 	c.mu.Lock()
@@ -301,6 +311,40 @@ func (c *Cluster) CheckFaultTolerance() error {
 		if count <= need {
 			return fmt.Errorf("core: class %s has %d live replicas, need > %d",
 				cls, count, need)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants asserts the full §4.1 fault-tolerance contract (FAULTS.md
+// §4): the λ−k+1 replica condition of CheckFaultTolerance, plus — when read
+// groups are enabled — that every class's reads stay answerable from rg(C)
+// (at least one live read-group member). Safe to call from any goroutine
+// EXCEPT a vsync event loop (it queries the machines' nodes); view-change
+// hooks must signal a separate checker goroutine instead.
+func (c *Cluster) CheckInvariants() error {
+	if err := c.CheckFaultTolerance(); err != nil {
+		return err
+	}
+	if !c.cfg.UseReadGroups {
+		return nil
+	}
+	c.mu.Lock()
+	machines := make([]*Machine, 0, len(c.machines))
+	for _, m := range c.machines {
+		machines = append(machines, m)
+	}
+	classes := c.cfg.Classifier.Classes()
+	c.mu.Unlock()
+	for _, cls := range classes {
+		live := 0
+		for _, m := range machines {
+			if m.node.Member(rgName(cls)) {
+				live++
+			}
+		}
+		if live == 0 {
+			return fmt.Errorf("core: class %s has no live read-group member; reads unanswerable from rg(C)", cls)
 		}
 	}
 	return nil

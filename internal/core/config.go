@@ -70,6 +70,17 @@ type Config struct {
 	// process-wide Obs here.
 	Obs *obs.Obs
 
+	// OnViewChange, when non-nil, is invoked after every ordered group
+	// membership event a machine observes (join, leave, crash eviction),
+	// with the machine's ID, the raw group name ("wg/<class>" or
+	// "rg/<class>"), and the new membership. It is called from the
+	// machine's vsync event loop: implementations must not block and must
+	// not call back into the machine or its node (doing so deadlocks the
+	// loop) — signal another goroutine instead. The fault-injection
+	// harness uses this to assert the §4.1 λ−k+1 condition at every view
+	// change (see FAULTS.md §4 and faults.Checker).
+	OnViewChange func(machine transport.NodeID, group string, members []transport.NodeID)
+
 	// SupportSelector enables dynamic support maintenance (§5.2): when a
 	// basic-support machine crashes, the cluster immediately replaces it
 	// in B(C) with a live machine chosen by this selector (e.g.

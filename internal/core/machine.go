@@ -78,6 +78,9 @@ func (h machineHandler) Install(group string, state []byte) { h.m.srv.Install(gr
 func (h machineHandler) Evict(group string)                 { h.m.srv.Evict(group) }
 func (h machineHandler) ViewChange(group string, members []transport.NodeID) {
 	h.m.srv.ViewChange(group, members)
+	if h.m.cfg.OnViewChange != nil {
+		h.m.cfg.OnViewChange(h.m.id, group, members)
+	}
 }
 func (h machineHandler) AppMessage(from transport.NodeID, payload []byte) {
 	h.m.wake()

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paso/internal/core"
+	"paso/internal/obs"
+	"paso/internal/transport"
+)
+
+// Checker asserts the §4.1 λ−k+1 fault-tolerance condition at every view
+// change (FAULTS.md §4): with k machines down, every class keeps more than
+// λ−k live write-group members, and — with read groups enabled — at least
+// one live rg(C) member, so reads stay answerable.
+//
+// Wiring is two-phase because the hook must exist before the cluster does:
+// pass OnViewChange as core.Config.OnViewChange, build the cluster, then
+// Bind it. OnViewChange runs on a machine's vsync event loop and therefore
+// only signals (a non-blocking channel send); the actual check runs on the
+// checker's own goroutine — calling cluster methods from the loop would
+// deadlock (see core.Config.OnViewChange).
+//
+// A view change observes reconfiguration in flight (a restate's wipe
+// before its rejoin, a join ordered before its state transfer finishes),
+// so a failed check is retried briefly; only a condition that persists
+// across the settle window is a violation. During an open partition the
+// checker must be Paused — the k of λ−k+1 counts crashes, not cuts
+// (FAULTS.md §2.4) — and Resumed after heal + settle.
+type Checker struct {
+	o      *obs.Obs
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+
+	cluster atomic.Pointer[core.Cluster]
+	paused  atomic.Bool
+	checks  atomic.Uint64
+
+	mu         sync.Mutex
+	violations []string
+}
+
+// NewChecker builds an unbound checker. A nil Obs discards the
+// invariant-violation events it would emit.
+func NewChecker(o *obs.Obs) *Checker {
+	if o == nil {
+		o = obs.Nop()
+	}
+	return &Checker{
+		o:      o,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// OnViewChange is the core.Config.OnViewChange hook: coalesce a signal to
+// the checker goroutine and return immediately. Safe to call from vsync
+// event loops; signals arriving before Bind are dropped (the cluster is
+// still constructing — its own startup joins).
+func (k *Checker) OnViewChange(machine transport.NodeID, group string, members []transport.NodeID) {
+	select {
+	case k.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Bind attaches the cluster and starts the checking goroutine. Call once,
+// after core.NewCluster returns; Close before Cluster.Shutdown (checking a
+// stopping cluster reports every machine as down).
+func (k *Checker) Bind(c *core.Cluster) {
+	k.cluster.Store(c)
+	go k.loop()
+}
+
+// Pause suspends checking (FAULTS.md §2.4: an open partition makes the
+// crash-counting condition ill-posed). Signals arriving while paused are
+// discarded.
+func (k *Checker) Pause() { k.paused.Store(true) }
+
+// Resume re-enables checking and queues one immediate re-assertion.
+func (k *Checker) Resume() {
+	k.paused.Store(false)
+	select {
+	case k.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Checks reports how many view-change signals were checked (coalesced
+// signals count once).
+func (k *Checker) Checks() uint64 { return k.checks.Load() }
+
+// Violations returns the persistent invariant violations observed so far.
+func (k *Checker) Violations() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]string(nil), k.violations...)
+}
+
+// Close stops the checking goroutine and waits for it to exit.
+func (k *Checker) Close() {
+	close(k.stop)
+	<-k.done
+}
+
+func (k *Checker) loop() {
+	defer close(k.done)
+	for {
+		select {
+		case <-k.stop:
+			return
+		case <-k.notify:
+		}
+		if k.paused.Load() {
+			continue
+		}
+		c := k.cluster.Load()
+		if c == nil {
+			continue
+		}
+		k.checks.Add(1)
+		if err := k.checkWithRetry(c); err != nil {
+			v := fmt.Sprintf("view-change invariant: %v", err)
+			k.mu.Lock()
+			k.violations = append(k.violations, v)
+			k.mu.Unlock()
+			k.o.Emit("invariant-violation", obs.KV("source", "checker"), obs.KV("detail", err.Error()))
+		}
+	}
+}
+
+// checkWithRetry distinguishes transient reconfiguration from a real
+// violation: re-poll for up to a second before giving up. A genuine
+// violation (a class's last replica gone) cannot heal without an operator
+// action, so persistence is the discriminator.
+func (k *Checker) checkWithRetry(c *core.Cluster) error {
+	var err error
+	for attempt := 0; attempt < 40; attempt++ {
+		if k.paused.Load() {
+			return nil // a partition window opened mid-check
+		}
+		if err = c.CheckInvariants(); err == nil {
+			return nil
+		}
+		select {
+		case <-k.stop:
+			return nil
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	return err
+}

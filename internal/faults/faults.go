@@ -1,0 +1,79 @@
+// Package faults is the deterministic fault-injection plane specified by
+// FAULTS.md (the normative fault model — read it first; this package is
+// reviewed against it, and TestKindsMatchFaultsDoc fails when the two
+// diverge).
+//
+// The package composes with both transports:
+//
+//   - Plan implements simnet.Injector: probabilistic per-link noise (drop,
+//     duplicate, delay/reorder) decided at the hub, under the bus lock, as
+//     a pure function of (seed, link, per-link frame index) — goroutine
+//     interleaving can change when a decision is consulted, never what it
+//     decides (FAULTS.md §5).
+//   - Director wraps TCP connections (tcp.Options.WrapConn) with a Conn
+//     whose writes can be dropped, stalled, or severed (FAULTS.md
+//     §2.9–2.11).
+//
+// Scenarios (Build) are step schedules generated purely from (name, seed,
+// size parameters); Run executes one against an in-process core.Cluster,
+// asserting the §4.1 λ−k+1 invariant at every view change (Checker) and
+// the paper's A1–A3 semantics over every probe (internal/semantics).
+package faults
+
+// Kind names one injectable fault from the FAULTS.md §2 table. The string
+// values are normative: TestKindsMatchFaultsDoc diffs Kinds() against the
+// §7 kind↔exercise table, so a kind added here must be specified there
+// first.
+type Kind string
+
+// The registered fault kinds. See FAULTS.md §2.1–§2.11 for the exact
+// semantics, guarantees broken, and survival promises of each.
+const (
+	KindDrop       Kind = "drop"              // §2.1 probabilistic frame loss
+	KindDuplicate  Kind = "duplicate"         // §2.2 frame duplication
+	KindDelay      Kind = "delay"             // §2.3 frame delay / reorder
+	KindPartition  Kind = "partition"         // §2.4 symmetric partition
+	KindOneWay     Kind = "partition-oneway"  // §2.5 asymmetric partition
+	KindCrash      Kind = "crash"             // §2.6 crash with amnesia
+	KindRestart    Kind = "restart"           // §2.7 recovery action
+	KindFlap       Kind = "flap"              // §2.8 failure-detector glitch
+	KindConnDrop   Kind = "conn-drop"         // §2.9 drop-before-flush (TCP)
+	KindConnStall  Kind = "conn-stall"        // §2.10 stalled connection (TCP)
+	KindConnSever  Kind = "conn-sever"        // §2.11 severed connection (TCP)
+)
+
+// Kinds returns every registered fault kind, in FAULTS.md §7 table order.
+func Kinds() []Kind {
+	return []Kind{
+		KindDrop, KindDuplicate, KindDelay,
+		KindPartition, KindOneWay,
+		KindCrash, KindRestart, KindFlap,
+		KindConnDrop, KindConnStall, KindConnSever,
+	}
+}
+
+// splitmix64 is the SplitMix64 output function (Steele, Lea & Flood 2014):
+// a bijective avalanche mix used here to derive independent per-link,
+// per-index, per-category decision streams from one scenario seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds the values into one avalanche-mixed word. Every fault decision
+// in this package is mix(seed, ...coordinates) — no shared mutable rng
+// state, so decisions are position-addressable and replay from the seed.
+func mix(vs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// unit maps a mixed word onto [0, 1) with 53-bit resolution.
+func unit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

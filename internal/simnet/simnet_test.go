@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -237,4 +238,207 @@ func TestFlapEmitsDownUpToPeersOnly(t *testing.T) {
 		t.Fatalf("got %q", it.Payload)
 	}
 	n.Flap(99) // unknown node: no-op
+}
+
+// scriptedInjector returns canned fates in frame order (FAULTS.md §2),
+// delivering normally once the script runs out.
+type scriptedInjector struct {
+	mu    sync.Mutex
+	fates []Fate
+}
+
+func (s *scriptedInjector) Frame(from, to transport.NodeID, size int) Fate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.fates) == 0 {
+		return Fate{}
+	}
+	f := s.fates[0]
+	s.fates = s.fates[1:]
+	return f
+}
+
+func TestInjectorDrop(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	n.SetInjector(&scriptedInjector{fates: []Fate{{Drop: true}}})
+	if err := a.Send(2, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	it := recvMsg(t, b)
+	if string(it.Payload) != "kept" {
+		t.Fatalf("dropped frame delivered: got %q", it.Payload)
+	}
+	// The dropped frame still occupied the bus: both sends metered.
+	if got := n.Meter().Snapshot().Messages; got != 2 {
+		t.Fatalf("metered %d msgs, want 2 (drops still occupy the bus)", got)
+	}
+}
+
+func TestInjectorDuplicate(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	n.SetInjector(&scriptedInjector{fates: []Fate{{Duplicate: 1}}})
+	if err := a.Send(2, []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		it := recvMsg(t, b)
+		if string(it.Payload) != "twice" {
+			t.Fatalf("copy %d: got %q", i, it.Payload)
+		}
+	}
+	// Each copy is metered as its own transmission.
+	if got := n.Meter().Snapshot().Messages; got != 2 {
+		t.Fatalf("metered %d msgs, want 2", got)
+	}
+}
+
+func TestInjectorDelayReorders(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	// First frame held for 2 further hub traversals; next two pass it.
+	n.SetInjector(&scriptedInjector{fates: []Fate{{DelayFrames: 2}}})
+	for _, m := range []string{"late", "first", "second"} {
+		if err := a.Send(2, []byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for i := 0; i < 3; i++ {
+		got = append(got, string(recvMsg(t, b).Payload))
+	}
+	want := []string{"first", "second", "late"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v (delay must reorder)", got, want)
+		}
+	}
+}
+
+func TestDelayedFrameLostOnCrash(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	n.Join(2)
+	n.SetInjector(&scriptedInjector{fates: []Fate{{DelayFrames: 1}}})
+	if err := a.Send(2, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash(2) // held frame purged with the queue (§3.1)
+	c, err := n.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tick the hub past the delay window, then send a probe: the restarted
+	// incarnation must see only the probe, never the predecessor's frame.
+	if err := a.Send(2, []byte("tick")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("probe")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(recvMsg(t, c).Payload); got != "tick" {
+		t.Fatalf("restarted node got %q, want %q (held frame must die with the crash)", got, "tick")
+	}
+}
+
+func TestCutPartitionsAndHeals(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	drainEvents(a)
+	drainEvents(b)
+
+	// Symmetric partition: cut both directions.
+	n.Cut(1, 2)
+	n.Cut(2, 1)
+	recvEvent(t, b, transport.KindDown, 1) // b's detector declares a dead
+	recvEvent(t, a, transport.KindDown, 2) // and vice versa
+	if err := a.Send(2, []byte("void")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alive is cut-aware on both sides.
+	if got := a.Alive(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("a.Alive() = %v during partition, want [1]", got)
+	}
+
+	// Heal: both sides see Up again, traffic flows, the cut-window frame
+	// stays lost (it was dropped, not queued).
+	n.Uncut(1, 2)
+	n.Uncut(2, 1)
+	recvEvent(t, b, transport.KindUp, 1)
+	recvEvent(t, a, transport.KindUp, 2)
+	if err := a.Send(2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(recvMsg(t, b).Payload); got != "after" {
+		t.Fatalf("post-heal delivery got %q (cut-window frames must stay lost)", got)
+	}
+}
+
+func TestOneWayCutIsAsymmetric(t *testing.T) {
+	n := newNet(t)
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	drainEvents(a)
+	drainEvents(b)
+
+	n.Cut(1, 2) // b stops hearing a; a still hears b
+	recvEvent(t, b, transport.KindDown, 1)
+	if err := b.Send(1, []byte("still-here")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(recvMsg(t, a).Payload); got != "still-here" {
+		t.Fatalf("reverse direction broken: got %q", got)
+	}
+	// a's detector never fired: b is still visible to a.
+	if got := a.Alive(); len(got) != 2 {
+		t.Fatalf("a.Alive() = %v, want both nodes (one-way cut)", got)
+	}
+	if got := b.Alive(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("b.Alive() = %v, want [2]", got)
+	}
+	n.Uncut(1, 2)
+	recvEvent(t, b, transport.KindUp, 1)
+}
+
+func TestJoinInsidePartitionSeesOwnSideOnly(t *testing.T) {
+	n := newNet(t)
+	n.Join(1)
+	n.Join(2)
+	n.Crash(2)
+	n.Cut(1, 2)
+	n.Cut(2, 1)
+	c, err := n.Join(2) // restart inside the partition
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Alive(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("restarted node sees %v, want only itself across the cut", got)
+	}
+	// No Up event crossed the cut in either direction.
+	select {
+	case it := <-c.Recv():
+		t.Fatalf("unexpected item across cut: %+v", it)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// drainEvents discards whatever is already queued on an endpoint (the
+// Up events from Join priming).
+func drainEvents(ep *Endpoint) {
+	for {
+		select {
+		case <-ep.Recv():
+		case <-time.After(20 * time.Millisecond):
+			return
+		}
+	}
 }

@@ -1,0 +1,146 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"paso/internal/faults"
+	"paso/internal/transport"
+)
+
+// wrappedPair starts endpoints 1 and 2 with endpoint 1's outgoing
+// connections steered by the director (FAULTS.md §2.9–2.11: conn faults
+// are injected on the writer path, one-way).
+func wrappedPair(t *testing.T, d *faults.Director) (*Endpoint, *Endpoint) {
+	t.Helper()
+	o1 := fastOpts()
+	o1.WrapConn = d.Wrap
+	e1, err := Listen(1, "127.0.0.1:0", o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Listen(2, "127.0.0.1:0", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.AddPeer(2, e2.Addr())
+	e2.AddPeer(1, e1.Addr())
+	t.Cleanup(func() {
+		e1.Close()
+		e2.Close()
+	})
+	waitItem(t, e1, func(it transport.Item) bool {
+		return it.Kind == transport.KindUp && it.From == 2
+	}, "up(2) at e1")
+	waitItem(t, e2, func(it transport.Item) bool {
+		return it.Kind == transport.KindUp && it.From == 1
+	}, "up(1) at e2")
+	return e1, e2
+}
+
+// TestWrapConnDropBreaksLink: ModeDrop swallows every outbound write —
+// heartbeats included — so the remote's detector declares the sender down
+// within FailTimeout; clearing the mode lets heartbeats resume and the
+// peer come back up, with data flowing again (FAULTS.md §2.9).
+func TestWrapConnDropBreaksLink(t *testing.T) {
+	d := faults.NewDirector()
+	e1, e2 := wrappedPair(t, d)
+
+	d.Set(2, faults.ModeDrop)
+	if err := e1.Send(2, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	waitItem(t, e2, func(it transport.Item) bool {
+		return it.Kind == transport.KindDown && it.From == 1
+	}, "down(1) at e2 after drop mode")
+
+	d.Clear(2)
+	waitItem(t, e2, func(it transport.Item) bool {
+		return it.Kind == transport.KindUp && it.From == 1
+	}, "up(1) at e2 after clearing drop mode")
+	if err := e1.Send(2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	it := waitItem(t, e2, func(it transport.Item) bool {
+		return it.Kind == transport.KindMsg && it.From == 1 && string(it.Payload) == "after"
+	}, "post-recovery message at e2")
+	if string(it.Payload) != "after" {
+		t.Fatalf("unexpected payload %q", it.Payload)
+	}
+}
+
+// TestWrapConnStallBackpressure: ModeStall wedges the writer mid-flush,
+// the bounded send queue fills, Send exerts backpressure — and the
+// endpoint must remain closeable, unblocking both the writer and any
+// blocked senders (FAULTS.md §2.10).
+func TestWrapConnStallBackpressure(t *testing.T) {
+	d := faults.NewDirector()
+	e1, e2 := wrappedPair(t, d)
+
+	d.Set(2, faults.ModeStall)
+	sendersDone := make(chan struct{})
+	go func() {
+		defer close(sendersDone)
+		payload := make([]byte, 1024)
+		for i := 0; i < 5000; i++ {
+			if err := e1.Send(2, payload); err != nil {
+				return // endpoint closed under us — expected
+			}
+		}
+	}()
+	waitItem(t, e2, func(it transport.Item) bool {
+		return it.Kind == transport.KindDown && it.From == 1
+	}, "down(1) at e2 after stall mode")
+	select {
+	case <-sendersDone:
+		t.Fatal("5000 sends completed against a stalled writer — no backpressure")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- e1.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("endpoint close hung behind a stalled connection (writer leak)")
+	}
+	select {
+	case <-sendersDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked sender never unblocked after close")
+	}
+}
+
+// TestWrapConnSeverRedials: ModeSever closes the socket under the writer,
+// which drops its batch and redials on its backoff schedule; once the
+// mode clears, the link recovers with a fresh hello preceding data
+// (FAULTS.md §2.11).
+func TestWrapConnSeverRedials(t *testing.T) {
+	d := faults.NewDirector()
+	e1, e2 := wrappedPair(t, d)
+
+	d.Set(2, faults.ModeSever)
+	if err := e1.Send(2, []byte("cut")); err != nil {
+		t.Fatal(err)
+	}
+	waitItem(t, e2, func(it transport.Item) bool {
+		return it.Kind == transport.KindDown && it.From == 1
+	}, "down(1) at e2 after sever mode")
+
+	d.Clear(2)
+	waitItem(t, e2, func(it transport.Item) bool {
+		return it.Kind == transport.KindUp && it.From == 1
+	}, "up(1) at e2 after redial")
+	for i := 0; i < 3; i++ {
+		if err := e1.Send(2, []byte(fmt.Sprintf("recovered-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitItem(t, e2, func(it transport.Item) bool {
+		return it.Kind == transport.KindMsg && it.From == 1 && string(it.Payload) == "recovered-2"
+	}, "post-redial data at e2")
+}

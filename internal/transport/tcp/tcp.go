@@ -59,6 +59,14 @@ type Options struct {
 	// heartbeat misses, peers-up gauge, flush batching) and peer up/down
 	// events. Nil records into a throwaway sink.
 	Obs *obs.Obs
+	// WrapConn, when non-nil, interposes on every outgoing connection
+	// right after it is dialed, before any frame is written. It is the
+	// fault-injection seam (FAULTS.md §2.9–2.11): internal/faults'
+	// Director.Wrap returns a connection whose writes can be dropped,
+	// stalled, or severed per peer. The returned conn's Close must also
+	// close (and unblock) the wrapped one — Endpoint.Close relies on that
+	// to interrupt a writer wedged in a stalled write.
+	WrapConn func(peer transport.NodeID, c net.Conn) net.Conn
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +121,7 @@ type outFrame struct {
 // peer is the outgoing side of a link: a bounded queue drained by one
 // writer goroutine that owns the connection.
 type peer struct {
+	id   transport.NodeID
 	addr string
 	q    chan outFrame
 
@@ -190,7 +199,7 @@ func (e *Endpoint) AddPeer(id transport.NodeID, addr string) {
 	if _, exists := e.peers[id]; exists || id == e.id || e.closed {
 		return
 	}
-	p := &peer{addr: addr, q: make(chan outFrame, sendQueueCap)}
+	p := &peer{id: id, addr: addr, q: make(chan outFrame, sendQueueCap)}
 	e.peers[id] = p
 	e.wg.Add(2)
 	go e.writerLoop(p)
@@ -291,7 +300,22 @@ func (e *Endpoint) writerLoop(p *peer) {
 				e.drainAndDrop(p)
 				continue
 			}
+			if e.opts.WrapConn != nil {
+				conn = e.opts.WrapConn(p.id, conn)
+			}
 			p.setConn(conn)
+			// Re-check stop now that the conn is published: if Close swept
+			// the peers before setConn, nothing else will ever close this
+			// conn, and a blocking write on it would wedge wg.Wait. The
+			// peer mutex orders setConn against Close's sweep, so one side
+			// is guaranteed to observe the other.
+			select {
+			case <-e.stop:
+				p.closeConn()
+				e.dropFrame(f)
+				return
+			default:
+			}
 			bw = bufio.NewWriterSize(conn, writeBufSize)
 			// Hello frame: announces our identity before any data. It
 			// rides in the same flush as the batch that triggered the dial.

@@ -196,6 +196,15 @@ func (n *Node) do(f func()) bool {
 // Gcast broadcasts payload to the group and returns the gathered response.
 // An empty or unknown group yields a fail Result, mirroring the paper's
 // read returning fail when no server holds a match.
+//
+// Failure contract: Gcast blocks until the request resolves or the node
+// closes (ErrClosed) — there is no timeout. If the coordinator crashes
+// mid-broadcast the request is retransmitted to its successor after
+// recovery; the per-origin dedup cache makes the retry at-most-once, so
+// the payload is applied exactly once on every surviving member even
+// when the response was lost with the old coordinator. Members that
+// crash while the broadcast is in flight are dropped from the gather
+// set; the call completes against the survivors.
 func (n *Node) Gcast(group string, payload []byte) (Result, error) {
 	start := time.Now()
 	ch := make(chan Result, 1)
@@ -219,6 +228,10 @@ func (n *Node) Gcast(group string, payload []byte) (Result, error) {
 // Join makes this node a member of the group, blocking until the state
 // transfer completes and the member is active (paper §4.2: no group
 // communication is processed by the joiner until the transfer finishes).
+// Joining a group this node is already an active member of is a no-op.
+// Like Gcast, Join survives a coordinator crash by retransmission: the
+// successor re-orders the request, duplicate orderings are suppressed,
+// and the recovery's laggard-resync path re-issues the state snapshot.
 func (n *Node) Join(group string) error {
 	ch := make(chan Result, 1)
 	ok := n.do(func() {
@@ -241,6 +254,8 @@ func (n *Node) Join(group string) error {
 
 // Leave removes this node from the group, blocking until the ordered leave
 // event is delivered. The handler's Evict is invoked to erase group state.
+// Leaving a group this node is not in is a no-op. A crash-eviction racing
+// the leave resolves it the same way: the member is gone either path.
 func (n *Node) Leave(group string) error {
 	ch := make(chan Result, 1)
 	ok := n.do(func() {
