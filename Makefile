@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench doccheck chaos check clean
+.PHONY: build test race vet bench doccheck chaos trace-race check clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ bench:
 # Doc comments on vsync/simnet/faults are normative (FAULTS.md, PROTOCOL.md).
 doccheck:
 	$(GO) test -run TestExportedDocs ./internal/lint/
+
+# The distributed-tracing plane under the race detector: span propagation
+# through batching/view changes/failover plus the pasoctl trace path.
+trace-race:
+	$(GO) test -race -run 'Trace|Span|Assemble|Audit' -count=1 \
+		./internal/vsync/ ./internal/obs/ ./internal/core/ ./internal/faults/ ./cmd/pasoctl/
 
 # Deterministic fault-injection smoke under the race detector; failures
 # replay bit-identically from the same seed (README, "Chaos testing").

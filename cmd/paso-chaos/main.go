@@ -14,6 +14,13 @@
 //	paso-chaos -scenario rolling-crash -seed 42
 //	paso-chaos -list
 //	paso-chaos -scenario lossy-link -seed 13 -rounds 3 -log chaos.json
+//	paso-chaos -scenario rolling-crash -seed 42 -traces traces.txt
+//
+// With -traces, operation tracing runs through the whole scenario and
+// every probe leg's assembled cross-machine timeline is written to the
+// given file, with spans lost to injected faults called out as explicit
+// GAP annotations. Trace timelines carry wall-clock offsets and, like the
+// -log event dump, are not part of the deterministic stdout surface.
 package main
 
 import (
@@ -49,6 +56,7 @@ func run(args []string, out io.Writer) (int, error) {
 		n        = fs.Int("n", 0, "machines in the ensemble (0 = scenario default)")
 		lambda   = fs.Int("lambda", 0, "crash tolerance λ (0 = scenario default)")
 		logPath  = fs.String("log", "", "write the obs event log (JSON lines, wall-clock order) to this file")
+		trPath   = fs.String("traces", "", "trace every probe op and write the assembled timelines to this file")
 		list     = fs.Bool("list", false, "list scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,13 +76,18 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	o := obs.New(obs.Options{TraceCap: 65536})
-	res, err := faults.Run(sc, faults.RunOptions{Out: out, Obs: o})
+	o := obs.New(obs.Options{TraceCap: 65536, SpanCap: 65536})
+	res, err := faults.Run(sc, faults.RunOptions{Out: out, Obs: o, Trace: *trPath != ""})
 	if err != nil {
 		return 2, err
 	}
 	if *logPath != "" {
 		if werr := writeEventLog(*logPath, o); werr != nil {
+			return 2, werr
+		}
+	}
+	if *trPath != "" {
+		if werr := writeProbeTraces(*trPath, res.ProbeTraces); werr != nil {
 			return 2, werr
 		}
 	}
@@ -98,6 +111,20 @@ func writeEventLog(path string, o *obs.Obs) error {
 			f.Close()
 			return err
 		}
+	}
+	return f.Close()
+}
+
+// writeProbeTraces renders every probe leg's assembled timeline to path.
+func writeProbeTraces(path string, traces []faults.ProbeTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, pt := range traces {
+		fmt.Fprintf(f, "probe %d m=%d %s\n", pt.Probe, pt.Node, pt.Op)
+		fmt.Fprint(f, pt.Trace.Render())
+		fmt.Fprintln(f)
 	}
 	return f.Close()
 }

@@ -10,6 +10,11 @@
 //	paso-loadgen                          # 3 machines, 8 workers, 2s
 //	paso-loadgen -machines 5 -workers 32 -duration 10s
 //	paso-loadgen -out BENCH_paso.json -label "PR 2 batched send path"
+//	paso-loadgen -trace-overhead -out BENCH_paso.json
+//
+// With -trace-overhead the same workload runs twice — operation tracing
+// off, then on — and both points are appended, so the trajectory records
+// what the tracing plane costs (the PR 4 budget is ≤ 5% on ops/sec).
 package main
 
 import (
@@ -51,16 +56,23 @@ func run(args []string) error {
 	readFrac := fs.Float64("read-frac", 0.4, "fraction of reads (the rest is read&del)")
 	label := fs.String("label", "", "label recorded with the trajectory point")
 	out := fs.String("out", "", "append the point to this JSON trajectory file")
+	traceOps := fs.Bool("trace-ops", false, "run with cross-machine operation tracing enabled")
+	traceOverhead := fs.Bool("trace-overhead", false, "run twice (tracing off, then on) and report the overhead")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := experiments.RunThroughput(experiments.ThroughputConfig{
+	cfg := experiments.ThroughputConfig{
 		Machines:   *machines,
 		Workers:    *workers,
 		Duration:   *duration,
 		InsertFrac: *insertFrac,
 		ReadFrac:   *readFrac,
-	})
+		TraceOps:   *traceOps,
+	}
+	if *traceOverhead {
+		return runTraceOverhead(cfg, *label, *out)
+	}
+	res, err := experiments.RunThroughput(cfg)
 	if err != nil {
 		return err
 	}
@@ -72,6 +84,44 @@ func run(args []string) error {
 		Label:            *label,
 		Date:             time.Now().UTC().Truncate(time.Second),
 		ThroughputResult: *res,
+	})
+}
+
+// runTraceOverhead measures the tracing plane's cost: the identical
+// workload with tracing off and on, both points appended to the
+// trajectory, and the ops/sec delta printed.
+func runTraceOverhead(cfg experiments.ThroughputConfig, label, out string) error {
+	cfg.TraceOps = false
+	off, err := experiments.RunThroughput(cfg)
+	if err != nil {
+		return fmt.Errorf("tracing-off run: %w", err)
+	}
+	cfg.TraceOps = true
+	on, err := experiments.RunThroughput(cfg)
+	if err != nil {
+		return fmt.Errorf("tracing-on run: %w", err)
+	}
+	fmt.Println("tracing off:")
+	fmt.Println(off.Table().Render())
+	fmt.Println("tracing on:")
+	fmt.Println(on.Table().Render())
+	overhead := (off.OpsPerSec - on.OpsPerSec) / off.OpsPerSec * 100
+	fmt.Printf("tracing overhead: %.1f%% ops/sec (%.0f → %.0f)\n",
+		overhead, off.OpsPerSec, on.OpsPerSec)
+	if out == "" {
+		return nil
+	}
+	if label == "" {
+		label = "trace-overhead"
+	}
+	now := time.Now().UTC().Truncate(time.Second)
+	if err := appendPoint(out, point{
+		Label: label + " tracing=off", Date: now, ThroughputResult: *off,
+	}); err != nil {
+		return err
+	}
+	return appendPoint(out, point{
+		Label: label + " tracing=on", Date: now, ThroughputResult: *on,
 	})
 }
 

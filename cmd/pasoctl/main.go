@@ -11,6 +11,14 @@
 // Most commands get a single response line. "stats" streams the
 // Figure-1-style per-op cost table (one row per operation kind, with
 // latency quantiles) terminated by a lone "." line.
+//
+// The "trace" subcommand talks to the debug endpoints instead of the
+// client port: it merges the spans every machine recorded for one traced
+// operation and prints the cross-machine timeline with per-hop measured
+// bytes and predicted §3.3 cost (see README, "Tracing an operation"):
+//
+//	pasoctl trace -debug 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303 list
+//	pasoctl trace -debug 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303 <op-id>
 package main
 
 import (
@@ -31,6 +39,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], os.Stdout)
+	}
 	fs := flag.NewFlagSet("pasoctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7201", "pasod client address")
 	timeout := fs.Duration("timeout", 30*time.Second, "connection/response timeout")

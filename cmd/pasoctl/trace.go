@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"paso/internal/cost"
+	"paso/internal/obs"
+)
+
+// runTrace implements the "trace" subcommand: it pulls spans from every
+// machine's debug endpoint (/trace/ops), merges them, and renders the
+// assembled cross-machine timeline with §3.3 cost attribution. With no
+// op ID (or "list") it merges the recent traced operations of every
+// endpoint — each operation is rooted on the machine that initiated it —
+// so the user can pick one.
+//
+//	pasoctl trace -debug 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303 list
+//	pasoctl trace -debug 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303 <op-id>
+func runTrace(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pasoctl trace", flag.ContinueOnError)
+	debug := fs.String("debug", "127.0.0.1:7301", "comma-separated debug addresses of the cluster's machines")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := splitAddrs(*debug)
+	if len(addrs) == 0 {
+		return fmt.Errorf("trace: -debug needs at least one address")
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if fs.NArg() == 0 || fs.Arg(0) == "list" {
+		return listOps(client, addrs, out)
+	}
+	id, err := obs.ParseTraceID(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var spans []obs.Span
+	var reached int
+	for _, addr := range addrs {
+		var resp struct {
+			Spans []obs.Span `json:"spans"`
+		}
+		if err := getJSON(client, fmt.Sprintf("http://%s/trace/ops?id=%016x", addr, id), &resp); err != nil {
+			fmt.Fprintf(out, "# %s unreachable: %v\n", addr, err)
+			continue
+		}
+		reached++
+		spans = append(spans, resp.Spans...)
+	}
+	if reached == 0 {
+		return fmt.Errorf("trace: no debug endpoint reachable")
+	}
+	asm := obs.Assemble(id, spans, cost.DefaultModel())
+	if len(asm.Spans) == 0 {
+		return fmt.Errorf("trace: no spans for %016x on %d machine(s) — is -trace-ops enabled?", id, reached)
+	}
+	fmt.Fprintf(out, "# %d span(s) from %d machine(s)\n", len(asm.Spans), reached)
+	fmt.Fprint(out, asm.Render())
+	return nil
+}
+
+// listOp is one row of the merged operation listing.
+type listOp struct {
+	obs.Span
+	TraceHex string `json:"trace_hex"`
+}
+
+// listOps merges the recent traced operations of every reachable machine
+// (each op's root span lives only on its initiating machine) and prints
+// them newest-first.
+func listOps(client *http.Client, addrs []string, out io.Writer) error {
+	var ops []listOp
+	var reached int
+	for _, addr := range addrs {
+		var resp struct {
+			Total uint64   `json:"total"`
+			Ops   []listOp `json:"ops"`
+		}
+		if err := getJSON(client, "http://"+addr+"/trace/ops", &resp); err != nil {
+			fmt.Fprintf(out, "# %s unreachable: %v\n", addr, err)
+			continue
+		}
+		reached++
+		ops = append(ops, resp.Ops...)
+	}
+	if reached == 0 {
+		return fmt.Errorf("trace: no debug endpoint reachable")
+	}
+	if len(ops) == 0 {
+		fmt.Fprintf(out, "no traced operations on %d machine(s) (is -trace-ops enabled?)\n", reached)
+		return nil
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Start.After(ops[j].Start) })
+	fmt.Fprintf(out, "%-16s  %-12s  %-10s  %-8s  %s\n", "OP-ID", "OP", "CLASS", "MACHINE", "NOTE")
+	for _, op := range ops {
+		note := op.Note
+		if op.Fail {
+			note = strings.TrimSpace("FAIL " + note)
+		}
+		fmt.Fprintf(out, "%-16s  %-12s  %-10s  m%-7d  %s\n", op.TraceHex, op.Name, op.Class, op.Machine, note)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func splitAddrs(csv string) []string {
+	var out []string
+	for _, a := range strings.Split(csv, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -56,20 +56,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pasod", flag.ContinueOnError)
 	var (
-		id      = fs.Uint64("id", 0, "machine id (required, ≥ 1)")
-		listen  = fs.String("listen", "127.0.0.1:7101", "transport listen address")
-		client  = fs.String("client", "127.0.0.1:7201", "client protocol listen address")
-		peers   = fs.String("peers", "", "comma-separated id=host:port transport peers")
-		names   = fs.String("names", "point,task,result", "tuple names with dedicated classes")
-		arity   = fs.Int("arity", 6, "maximum tuple arity")
-		lambda  = fs.Int("lambda", 1, "crash tolerance λ")
-		support = fs.Bool("support", false, "act as basic support for every class")
-		k       = fs.Int("k", 8, "adaptive counter threshold K")
+		id        = fs.Uint64("id", 0, "machine id (required, ≥ 1)")
+		listen    = fs.String("listen", "127.0.0.1:7101", "transport listen address")
+		client    = fs.String("client", "127.0.0.1:7201", "client protocol listen address")
+		peers     = fs.String("peers", "", "comma-separated id=host:port transport peers")
+		names     = fs.String("names", "point,task,result", "tuple names with dedicated classes")
+		arity     = fs.Int("arity", 6, "maximum tuple arity")
+		lambda    = fs.Int("lambda", 1, "crash tolerance λ")
+		support   = fs.Bool("support", false, "act as basic support for every class")
+		k         = fs.Int("k", 8, "adaptive counter threshold K")
 		hb        = fs.Duration("heartbeat", 50*time.Millisecond, "failure detector heartbeat")
 		timeout   = fs.Duration("fail-timeout", 500*time.Millisecond, "failure detector timeout")
 		inc       = fs.Uint64("incarnation", 0, "restart incarnation (bump after each crash)")
 		debugAddr = fs.String("debug-addr", "", "observability listen address (/metrics, /trace, /debug/pprof); empty disables")
 		traceCap  = fs.Int("trace-cap", 2048, "event trace ring capacity")
+		traceOps  = fs.Bool("trace-ops", false, "trace every PASO operation across machines (/trace/ops, pasoctl trace)")
+		spanCap   = fs.Int("span-cap", 8192, "operation span ring capacity")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +90,7 @@ func run(args []string) error {
 	o := obs.New(obs.Options{
 		Logger:   slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		TraceCap: *traceCap,
+		SpanCap:  *spanCap,
 	})
 	logger := o.Logger().With("machine", *id)
 
@@ -109,6 +112,7 @@ func run(args []string) error {
 		Lambda:     *lambda,
 		StoreKind:  storage.KindHash,
 		NewPolicy:  core.BasicPolicyFactory(*k),
+		TraceOps:   *traceOps,
 		Obs:        o,
 	}
 	var basics []class.ID

@@ -45,6 +45,13 @@ type Config struct {
 	// whole write group (§4.3's read-group optimization).
 	UseReadGroups bool
 
+	// TraceOps mints a trace ID at every primitive's entry and propagates
+	// it through the vsync wire envelopes, so each machine records spans
+	// for its part of the operation (gcast, ordering, delivery) into its
+	// Obs span store. Off by default: untraced operations carry zero
+	// trace fields, which gob omits from the encoded frames entirely.
+	TraceOps bool
+
 	// NewPolicy builds the adaptive replication policy for one
 	// (machine, class) pair (§5.1). Nil means Static (no adaptation).
 	NewPolicy func(cls class.ID) adaptive.Policy

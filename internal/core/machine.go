@@ -52,6 +52,7 @@ type Machine struct {
 	policies  map[class.ID]adaptive.Policy
 	polGauges map[class.ID]*obs.Gauge // per-class policy counter gauges
 	moving    map[class.ID]bool       // membership change in flight
+	audits    map[class.ID]*ratioAuditor
 
 	actions chan func()
 	stopped chan struct{}
@@ -128,6 +129,7 @@ func newMachine(id transport.NodeID, ep transport.Endpoint, cfg Config, basicCla
 		policies:  make(map[class.ID]adaptive.Policy),
 		polGauges: make(map[class.ID]*obs.Gauge),
 		moving:    make(map[class.ID]bool),
+		audits:    make(map[class.ID]*ratioAuditor),
 		actions:   make(chan func(), 64),
 		stopped:   make(chan struct{}),
 		wakeCh:    make(chan struct{}),
@@ -147,9 +149,42 @@ func newMachine(id transport.NodeID, ep transport.Endpoint, cfg Config, basicCla
 	}
 	m.srv = newServer(cfg, m.onUpdate, m.notifyReader)
 	m.node = vsync.NewNodeWith(ep, machineHandler{m: m}, o)
+	// Namespaced per machine so in-process clusters sharing one Obs keep
+	// every machine's collector registered (names replace on collision).
+	o.AddCollector(fmt.Sprintf("core.audit.m%d", id), m.collectAudit)
 	m.wg.Add(1)
 	go m.actionWorker()
 	return m
+}
+
+// mintTrace returns a fresh trace ID when operation tracing is enabled,
+// zero otherwise. The trace ID doubles as the root span's ID, so the value
+// listed by /trace/ops is exactly what `pasoctl trace <op-id>` takes.
+func (m *Machine) mintTrace() uint64 {
+	if !m.cfg.TraceOps {
+		return 0
+	}
+	return obs.NextID()
+}
+
+// traceRoot records the primitive's root span. A zero trace is a no-op.
+func (m *Machine) traceRoot(trace uint64, name string, cls class.ID, start time.Time, fail bool, note string) {
+	if trace == 0 {
+		return
+	}
+	m.o.Spans().Record(obs.Span{
+		Trace: trace, ID: trace, Machine: uint64(m.id),
+		Name: name, Class: string(cls), Start: start, Fail: fail, Note: note,
+	})
+}
+
+// gcastT issues a gcast carrying the primitive's tracing context (parented
+// on the root span) when trace is non-zero.
+func (m *Machine) gcastT(group string, payload []byte, trace uint64) (vsync.Result, error) {
+	if trace != 0 {
+		return m.node.GcastTraced(group, payload, trace, trace)
+	}
+	return m.node.Gcast(group, payload)
 }
 
 // record tracks one operation leg in both the Figure 1 cost meter and the
@@ -278,20 +313,24 @@ func (m *Machine) Insert(t tuple.Tuple) (tuple.Tuple, error) {
 		return tuple.Tuple{}, ErrMachineDown
 	}
 	start := time.Now()
+	trace := m.mintTrace()
 	t = t.WithID(m.idgen.Next())
 	cls := m.cfg.Classifier.ClassOf(t)
 	payload := encodeCommand(&command{kind: cmdStore, class: cls, obj: t})
-	res, err := m.node.Gcast(wgName(cls), payload)
+	res, err := m.gcastT(wgName(cls), payload, trace)
 	if err != nil {
+		m.traceRoot(trace, "op.insert", cls, start, true, "error")
 		return t, fmt.Errorf("insert: %w", err)
 	}
 	if res.Fail && res.GroupSize == 0 {
 		m.ftcViolation(OpInsert, cls)
+		m.traceRoot(trace, "op.insert", cls, start, true, "no replicas")
 		return t, ErrNoReplicas
 	}
 	// Figure 1: msg-cost g(2α+β|o|)+α; work g·I; time I + transit.
 	g := float64(res.GroupSize)
 	m.record(OpInsert, start, m.cfg.Model.Insert(res.GroupSize, len(payload)), g, 1, false)
+	m.traceRoot(trace, "op.insert", cls, start, false, "")
 	return t, nil
 }
 
@@ -303,13 +342,26 @@ func (m *Machine) Read(tp tuple.Template) (tuple.Tuple, bool, error) {
 	if m.isDown() {
 		return tuple.Tuple{}, false, ErrMachineDown
 	}
+	trace := m.mintTrace()
+	opStart := time.Now()
+	var lastCls class.ID
 	for _, cls := range m.cfg.Classifier.SearchList(tp) {
+		lastCls = cls
 		legStart := time.Now()
 		if m.node.Member(wgName(cls)) {
 			obj, ok, probes := m.srv.localRead(cls, tp)
 			m.record(OpReadLocal, legStart, 0, float64(probes), float64(probes), !ok)
+			if trace != 0 {
+				m.o.Spans().Record(obs.Span{
+					Trace: trace, ID: obs.NextID(), Parent: trace,
+					Machine: uint64(m.id), Name: "local-read", Group: wgName(cls),
+					Start: legStart, Fail: !ok,
+					Note: fmt.Sprintf("probes=%d", probes),
+				})
+			}
 			m.policyRead(cls, true, 0)
 			if ok {
+				m.traceRoot(trace, "op.read", cls, opStart, false, "")
 				return obj, true, nil
 			}
 			continue
@@ -319,8 +371,9 @@ func (m *Machine) Read(tp tuple.Template) (tuple.Tuple, bool, error) {
 			target = rgName(cls)
 		}
 		payload := encodeCommand(&command{kind: cmdRead, class: cls, tpl: tp})
-		res, err := m.node.Gcast(target, payload)
+		res, err := m.gcastT(target, payload, trace)
 		if err != nil {
+			m.traceRoot(trace, "op.read", cls, opStart, true, "error")
 			return tuple.Tuple{}, false, fmt.Errorf("read: %w", err)
 		}
 		if res.Fail && res.GroupSize == 0 {
@@ -333,9 +386,11 @@ func (m *Machine) Read(tp tuple.Template) (tuple.Tuple, bool, error) {
 			g*float64(probes), float64(probes)+1, !ok)
 		m.policyRead(cls, false, res.GroupSize)
 		if ok {
+			m.traceRoot(trace, "op.read", cls, opStart, false, "")
 			return obj, true, nil
 		}
 	}
+	m.traceRoot(trace, "op.read", lastCls, opStart, true, "no match")
 	return tuple.Tuple{}, false, nil
 }
 
@@ -347,11 +402,16 @@ func (m *Machine) ReadDel(tp tuple.Template) (tuple.Tuple, bool, error) {
 	if m.isDown() {
 		return tuple.Tuple{}, false, ErrMachineDown
 	}
+	trace := m.mintTrace()
+	opStart := time.Now()
+	var lastCls class.ID
 	for _, cls := range m.cfg.Classifier.SearchList(tp) {
+		lastCls = cls
 		legStart := time.Now()
 		payload := encodeCommand(&command{kind: cmdRemove, class: cls, tpl: tp})
-		res, err := m.node.Gcast(wgName(cls), payload)
+		res, err := m.gcastT(wgName(cls), payload, trace)
 		if err != nil {
+			m.traceRoot(trace, "op.read&del", cls, opStart, true, "error")
 			return tuple.Tuple{}, false, fmt.Errorf("read&del: %w", err)
 		}
 		if res.Fail && res.GroupSize == 0 {
@@ -363,9 +423,11 @@ func (m *Machine) ReadDel(tp tuple.Template) (tuple.Tuple, bool, error) {
 			m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
 			g*float64(probes), float64(probes)+1, !ok)
 		if ok {
+			m.traceRoot(trace, "op.read&del", cls, opStart, false, "")
 			return obj, true, nil
 		}
 	}
+	m.traceRoot(trace, "op.read&del", lastCls, opStart, true, "no match")
 	return tuple.Tuple{}, false, nil
 }
 
@@ -395,13 +457,16 @@ func (m *Machine) Swap(tp tuple.Template, repl tuple.Tuple) (tuple.Tuple, bool, 
 			"swap: replacement class %s not reachable by the template (cross-class swap)", cls)
 	}
 	start := time.Now()
+	trace := m.mintTrace()
 	payload := encodeCommand(&command{kind: cmdSwap, class: cls, tpl: tp, obj: repl})
-	res, err := m.node.Gcast(wgName(cls), payload)
+	res, err := m.gcastT(wgName(cls), payload, trace)
 	if err != nil {
+		m.traceRoot(trace, "op.swap", cls, start, true, "error")
 		return tuple.Tuple{}, false, fmt.Errorf("swap: %w", err)
 	}
 	if res.Fail && res.GroupSize == 0 {
 		m.ftcViolation(OpSwap, cls)
+		m.traceRoot(trace, "op.swap", cls, start, true, "no replicas")
 		return tuple.Tuple{}, false, ErrNoReplicas
 	}
 	old, ok, probes := decodeResult(res)
@@ -409,6 +474,7 @@ func (m *Machine) Swap(tp tuple.Template, repl tuple.Tuple) (tuple.Tuple, bool, 
 	m.record(OpSwap, start,
 		m.cfg.Model.RemoteRead(res.GroupSize, len(payload), len(res.Payload)),
 		g*float64(probes), float64(probes)+1, !ok)
+	m.traceRoot(trace, "op.swap", cls, start, !ok, "")
 	return old, ok, nil
 }
 
@@ -463,8 +529,10 @@ func policyThreshold(p adaptive.Policy) int {
 func (m *Machine) policyRead(cls class.ID, member bool, rgSize int) {
 	m.polMu.Lock()
 	p := m.policyFor(cls)
-	if ca, ok := p.(adaptive.CostAware); ok {
-		ca.ObserveJoinCost(maxInt(m.srv.classLen(cls), 1))
+	joinCost := maxInt(m.srv.classLen(cls), 1)
+	ca, costAware := p.(adaptive.CostAware)
+	if costAware {
+		ca.ObserveJoinCost(joinCost)
 	}
 	d := p.LocalRead(member, rgSize)
 	cnt := p.Counter()
@@ -472,6 +540,9 @@ func (m *Machine) policyRead(cls class.ID, member bool, rgSize int) {
 	trigger := d == adaptive.Join && !member && !m.moving[cls] && !m.basic[cls]
 	if trigger {
 		m.moving[cls] = true
+	}
+	if !m.basic[cls] {
+		m.auditFor(cls, costAware).read(member, rgSize, joinCost, trigger)
 	}
 	thr, name := policyThreshold(p), p.Name()
 	m.polMu.Unlock()
@@ -497,6 +568,10 @@ func (m *Machine) onUpdate(cls class.ID) {
 	trigger := d == adaptive.Leave && !m.basic[cls] && !m.moving[cls]
 	if trigger {
 		m.moving[cls] = true
+	}
+	if !m.basic[cls] {
+		_, costAware := p.(adaptive.CostAware)
+		m.auditFor(cls, costAware).update(maxInt(m.srv.classLen(cls), 1), trigger)
 	}
 	thr, name := policyThreshold(p), p.Name()
 	m.polMu.Unlock()

@@ -363,4 +363,3 @@ func renderTuple(t tuple.Tuple) string {
 	}
 	return strings.Join(parts, " ")
 }
-

@@ -49,6 +49,16 @@ func (m Model) GcastApprox(groupSize, msgSize, respSize int) float64 {
 	return float64(groupSize) * (2*m.Alpha + m.Beta*float64(msgSize+respSize))
 }
 
+// GcastTolerance returns the acceptable absolute gap between a cost
+// measured from collected spans and the Figure-1 approximation. The exact
+// §3.3 sum differs from |g|(2α+β(|msg|+|resp|)) by α + β|resp| − gβ|resp|,
+// so a correct measurement can be off by up to one α plus the response
+// bytes counted once per member plus once for the gathered reply; one more
+// α absorbs timing jitter in how the reply is attributed.
+func (m Model) GcastTolerance(groupSize, respSize int) float64 {
+	return 2*m.Alpha + float64(groupSize+1)*m.Beta*float64(respSize)
+}
+
 // Insert returns the closed-form Figure 1 msg-cost of insert(o):
 // g(2α+β|o|) + α. The trailing α is the issuing process's completion
 // notification; inserts expect no response payload.

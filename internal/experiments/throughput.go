@@ -41,6 +41,13 @@ type ThroughputConfig struct {
 	Preload int
 	// Seed makes the op mix reproducible. Default 1.
 	Seed int64
+	// TraceOps turns on cross-machine operation tracing for the whole
+	// cluster, so the benchmark can measure the tracing plane's overhead
+	// against an identical untraced run.
+	TraceOps bool
+	// SpanCap bounds each machine's span ring when TraceOps is set.
+	// Default 8192.
+	SpanCap int
 	// Obs receives the harness histograms and the shared transport
 	// metrics of every endpoint (flush batching, frames, bytes). Nil uses
 	// a private sink.
@@ -72,6 +79,9 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 	if c.Obs == nil {
 		c.Obs = obs.Nop()
 	}
+	if c.SpanCap <= 0 {
+		c.SpanCap = 8192
+	}
 	return c
 }
 
@@ -89,6 +99,7 @@ type LatencySummary struct {
 type ThroughputResult struct {
 	Machines  int     `json:"machines"`
 	Workers   int     `json:"workers"`
+	TraceOps  bool    `json:"trace_ops,omitempty"`
 	Ops       int64   `json:"ops"`
 	Fails     int64   `json:"fails"`
 	ElapsedS  float64 `json:"elapsed_s"`
@@ -189,7 +200,15 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 			if i < mcfg.Lambda+1 {
 				b = basics
 			}
-			machines[i], errs[i] = core.StartMachine(eps[i], mcfg, b, 1)
+			c := mcfg
+			if cfg.TraceOps {
+				// Each machine records spans into its own sink, the same
+				// shape as separate pasod processes, so the overhead
+				// measurement includes the real recording path.
+				c.TraceOps = true
+				c.Obs = obs.New(obs.Options{SpanCap: cfg.SpanCap})
+			}
+			machines[i], errs[i] = core.StartMachine(eps[i], c, b, 1)
 		}(i)
 	}
 	swg.Wait()
@@ -280,6 +299,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	res := &ThroughputResult{
 		Machines:  cfg.Machines,
 		Workers:   cfg.Workers,
+		TraceOps:  cfg.TraceOps,
 		Ops:       ops,
 		Fails:     fails,
 		ElapsedS:  elapsed.Seconds(),

@@ -29,17 +29,17 @@ type Kind string
 // The registered fault kinds. See FAULTS.md §2.1–§2.11 for the exact
 // semantics, guarantees broken, and survival promises of each.
 const (
-	KindDrop       Kind = "drop"              // §2.1 probabilistic frame loss
-	KindDuplicate  Kind = "duplicate"         // §2.2 frame duplication
-	KindDelay      Kind = "delay"             // §2.3 frame delay / reorder
-	KindPartition  Kind = "partition"         // §2.4 symmetric partition
-	KindOneWay     Kind = "partition-oneway"  // §2.5 asymmetric partition
-	KindCrash      Kind = "crash"             // §2.6 crash with amnesia
-	KindRestart    Kind = "restart"           // §2.7 recovery action
-	KindFlap       Kind = "flap"              // §2.8 failure-detector glitch
-	KindConnDrop   Kind = "conn-drop"         // §2.9 drop-before-flush (TCP)
-	KindConnStall  Kind = "conn-stall"        // §2.10 stalled connection (TCP)
-	KindConnSever  Kind = "conn-sever"        // §2.11 severed connection (TCP)
+	KindDrop      Kind = "drop"             // §2.1 probabilistic frame loss
+	KindDuplicate Kind = "duplicate"        // §2.2 frame duplication
+	KindDelay     Kind = "delay"            // §2.3 frame delay / reorder
+	KindPartition Kind = "partition"        // §2.4 symmetric partition
+	KindOneWay    Kind = "partition-oneway" // §2.5 asymmetric partition
+	KindCrash     Kind = "crash"            // §2.6 crash with amnesia
+	KindRestart   Kind = "restart"          // §2.7 recovery action
+	KindFlap      Kind = "flap"             // §2.8 failure-detector glitch
+	KindConnDrop  Kind = "conn-drop"        // §2.9 drop-before-flush (TCP)
+	KindConnStall Kind = "conn-stall"       // §2.10 stalled connection (TCP)
+	KindConnSever Kind = "conn-sever"       // §2.11 severed connection (TCP)
 )
 
 // Kinds returns every registered fault kind, in FAULTS.md §7 table order.

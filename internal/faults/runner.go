@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"paso/internal/core"
+	"paso/internal/cost"
 	"paso/internal/obs"
 	"paso/internal/semantics"
 	"paso/internal/transport"
@@ -32,6 +33,26 @@ type RunOptions struct {
 	// stalled that long after its loss window closed is a liveness
 	// violation.
 	AwaitTimeout time.Duration
+	// Trace turns on cross-machine operation tracing for the scenario's
+	// cluster and snapshots every probe leg's assembled trace into
+	// Result.ProbeTraces immediately after the leg runs — so a later
+	// crash cannot erase it, and spans lost TO a fault show up as
+	// explicit gap annotations rather than silently missing. Trace
+	// timelines are wall-clock data and are NOT part of the deterministic
+	// Out report.
+	Trace bool
+}
+
+// ProbeTrace is one probe leg's assembled cross-machine trace.
+type ProbeTrace struct {
+	// Probe is the 1-based probe cycle the leg belongs to.
+	Probe int
+	// Node is the probing machine.
+	Node transport.NodeID
+	// Op is the leg's root span name (op.insert, op.read, op.read&del).
+	Op string
+	// Trace is the assembled, gap-annotated timeline.
+	Trace obs.OpTrace
 }
 
 // Result is a scenario execution's outcome.
@@ -49,6 +70,9 @@ type Result struct {
 	// Violations aggregates step assertions, checker findings, settle
 	// timeouts, and semantics.Check results. Empty means the run passed.
 	Violations []string
+	// ProbeTraces holds every probe leg's assembled trace when
+	// RunOptions.Trace was set (wall-clock data, excluded from Out).
+	ProbeTraces []ProbeTrace
 }
 
 // OK reports whether the run passed.
@@ -77,12 +101,13 @@ type runner struct {
 	rec     *semantics.Recorder
 	o       *obs.Obs
 
-	out        io.Writer
-	val        int64
-	probes     int
-	kept       []int64
-	pending    []*asyncOp
-	violations []string
+	out         io.Writer
+	val         int64
+	probes      int
+	kept        []int64
+	pending     []*asyncOp
+	violations  []string
+	probeTraces []ProbeTrace
 
 	pumpStop chan struct{}
 	pumpDone chan struct{}
@@ -108,13 +133,21 @@ func Run(sc *Scenario, opt RunOptions) (*Result, error) {
 	}
 	plan := NewPlan(sc.Seed, o)
 	ck := NewChecker(o)
-	cluster, err := core.NewCluster(core.Config{
+	ccfg := core.Config{
 		Classifier:    Classifier(),
 		Lambda:        sc.Lambda,
 		Support:       sc.Support,
 		UseReadGroups: true,
 		OnViewChange:  ck.OnViewChange,
-	}, sc.N)
+	}
+	if opt.Trace {
+		// One shared sink collects every machine's spans — the in-process
+		// stand-in for the collector's cross-machine merge. Spans a
+		// crashed machine never recorded surface as assembly gaps.
+		ccfg.TraceOps = true
+		ccfg.Obs = o
+	}
+	cluster, err := core.NewCluster(ccfg, sc.N)
 	if err != nil {
 		return nil, fmt.Errorf("faults: cluster: %w", err)
 	}
@@ -172,6 +205,7 @@ func Run(sc *Scenario, opt RunOptions) (*Result, error) {
 		Probes: r.probes, Checks: ck.Checks(),
 		Faults:  plan.Events(),
 		Records: len(history), Violations: r.violations,
+		ProbeTraces: r.probeTraces,
 	}
 	sort.Slice(res.Faults, func(i, j int) bool {
 		a, b := res.Faults[i], res.Faults[j]
@@ -231,6 +265,8 @@ func probeTemplate(v int64) tuple.Template {
 func (r *runner) probe(id transport.NodeID) (int64, string) {
 	v := r.nextVal()
 	r.probes++
+	probeStart := time.Now()
+	defer r.snapshotProbeTraces(id, probeStart)
 	m := r.cluster.Machine(id)
 	if m == nil {
 		r.violate(fmt.Sprintf("probe m=%d: machine is down (scenario bug)", id))
@@ -270,6 +306,24 @@ func (r *runner) probe(id transport.NodeID) (int64, string) {
 		return v, "FAIL: dead object returned"
 	}
 	return v, "ok"
+}
+
+// snapshotProbeTraces assembles the traces of every probe leg the machine
+// rooted since the probe began and appends them to the result — run
+// immediately after each probe so no later fault can erase them.
+func (r *runner) snapshotProbeTraces(id transport.NodeID, since time.Time) {
+	if !r.opt.Trace {
+		return
+	}
+	spans := r.o.Spans().Spans()
+	for _, s := range spans {
+		if s.Parent == 0 && s.Machine == uint64(id) && !s.Start.Before(since) {
+			r.probeTraces = append(r.probeTraces, ProbeTrace{
+				Probe: r.probes, Node: id, Op: s.Name,
+				Trace: obs.Assemble(s.Trace, spans, cost.DefaultModel()),
+			})
+		}
+	}
 }
 
 // keepVal stores v at slot, growing the kept table as needed.

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRollingCrashTracesComplete runs the seeded rolling-crash scenario
+// with operation tracing enabled and asserts every probe op yielded an
+// assembled trace: a trace that lost spans to a crash must carry explicit
+// gap annotations instead of silently missing hops, and every probe leg
+// must be accounted for.
+func TestRollingCrashTracesComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow; skipped in -short mode")
+	}
+	sc, err := Build("rolling-crash", 42, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, RunOptions{Out: io.Discard, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("scenario violations: %v", res.Violations)
+	}
+	// Every probe cycle runs 4 traced legs (insert, read, read&del, and
+	// the asserted re-read miss).
+	if want := res.Probes * 4; len(res.ProbeTraces) != want {
+		t.Fatalf("probe traces = %d, want %d (probes=%d)", len(res.ProbeTraces), want, res.Probes)
+	}
+	legs := map[string]int{}
+	for _, pt := range res.ProbeTraces {
+		legs[pt.Op]++
+		asm := pt.Trace
+		if asm.Root.ID == 0 {
+			t.Fatalf("probe %d %s: trace has no root", pt.Probe, pt.Op)
+		}
+		if asm.Root.Trace != asm.Trace {
+			t.Fatalf("probe %d %s: root trace mismatch", pt.Probe, pt.Op)
+		}
+		// The contract under faults: complete, or gap-annotated — a trace
+		// missing its order/deliver spans without a Gap entry means the
+		// collector lied about coverage.
+		for _, s := range asm.Spans {
+			if s.Name != "gcast" {
+				continue
+			}
+			orders := 0
+			for _, c := range asm.Spans {
+				if c.Parent == s.ID && c.Name == "order" {
+					orders++
+				}
+			}
+			if orders == 0 {
+				annotated := false
+				for _, g := range asm.Gaps {
+					if g.Parent == s.ID {
+						annotated = true
+					}
+				}
+				if !annotated {
+					t.Fatalf("probe %d %s: gcast span %016x has no order child and no gap annotation\n%s",
+						pt.Probe, pt.Op, s.ID, asm.Render())
+				}
+			}
+		}
+		// Renders must never panic and always carry the trace header.
+		if !strings.HasPrefix(asm.Render(), "trace ") {
+			t.Fatalf("probe %d %s: bad render", pt.Probe, pt.Op)
+		}
+	}
+	for _, op := range []string{"op.insert", "op.read", "op.read&del"} {
+		if legs[op] == 0 {
+			t.Fatalf("no %s traces captured: %v", op, legs)
+		}
+	}
+}
+
+// TestUntracedRunRecordsNoTraces guards the default: without
+// RunOptions.Trace the result carries no probe traces.
+func TestUntracedRunRecordsNoTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow; skipped in -short mode")
+	}
+	sc, err := Build("rolling-crash", 7, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, RunOptions{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ProbeTraces) != 0 {
+		t.Fatalf("untraced run captured %d traces", len(res.ProbeTraces))
+	}
+}

@@ -24,6 +24,8 @@ var documented = []string{
 	"../vsync",
 	"../simnet",
 	"../faults",
+	"../obs",
+	"../cost",
 }
 
 func TestExportedDocs(t *testing.T) {

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"paso/internal/cost"
 )
 
 // Handler returns the debug mux:
@@ -17,12 +19,16 @@ import (
 //	                Prometheus text with ?format=prometheus (or an Accept
 //	                header preferring text/plain)
 //	/trace          the recent event ring as JSON (?n= limits, ?kind= filters)
+//	/trace/ops      recent traced operations (root spans); with ?id=<hex
+//	                trace ID> the trace's local spans plus the assembled
+//	                causal timeline with §3.3 cost attribution
 //	/healthz        200 ok
 //	/debug/pprof/   the standard net/http/pprof handlers
 func (o *Obs) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", o.handleMetrics)
 	mux.HandleFunc("/trace", o.handleTrace)
+	mux.HandleFunc("/trace/ops", o.handleTraceOps)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -170,4 +176,61 @@ func (o *Obs) handleTrace(w http.ResponseWriter, r *http.Request) {
 		Capacity int     `json:"capacity"`
 		Events   []Event `json:"events"`
 	}{Total: o.sh.trace.Total(), Capacity: o.sh.trace.Cap(), Events: events})
+}
+
+// ParseTraceID parses a trace/span ID as rendered by the tracing surfaces
+// (16 hex digits, optional 0x prefix).
+func ParseTraceID(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad trace id %q (want hex): %w", s, err)
+	}
+	return id, nil
+}
+
+// opListEntry is one traced operation in the /trace/ops index.
+type opListEntry struct {
+	Span
+	// TraceHex is the trace ID as `pasoctl trace` takes it.
+	TraceHex string `json:"trace_hex"`
+}
+
+func (o *Obs) handleTraceOps(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := ParseTraceID(idStr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans := o.sh.spans.ByTrace(id)
+		asm := Assemble(id, spans, cost.DefaultModel())
+		_ = enc.Encode(struct {
+			Trace     uint64  `json:"trace"`
+			TraceHex  string  `json:"trace_hex"`
+			Spans     []Span  `json:"spans"`
+			Assembled OpTrace `json:"assembled"`
+			Text      string  `json:"text"`
+		}{Trace: id, TraceHex: fmt.Sprintf("%016x", id), Spans: spans, Assembled: asm, Text: asm.Render()})
+		return
+	}
+	n := 32
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	roots := o.sh.spans.Roots(n)
+	ops := make([]opListEntry, 0, len(roots))
+	for _, s := range roots {
+		ops = append(ops, opListEntry{Span: s, TraceHex: fmt.Sprintf("%016x", s.Trace)})
+	}
+	_ = enc.Encode(struct {
+		Total    uint64        `json:"total"`
+		Capacity int           `json:"capacity"`
+		Ops      []opListEntry `json:"ops"`
+	}{Total: o.sh.spans.Total(), Capacity: o.sh.spans.Cap(), Ops: ops})
 }

@@ -89,10 +89,10 @@ func TestMetricsPrometheus(t *testing.T) {
 
 func TestPromName(t *testing.T) {
 	tests := map[string]string{
-		"transport.msgs.sent": "transport_msgs_sent",
+		"transport.msgs.sent":              "transport_msgs_sent",
 		"core.op.read&del.latency.seconds": "core_op_read_del_latency_seconds",
-		"9lives": "_lives",
-		"a:b_c":  "a:b_c",
+		"9lives":                           "_lives",
+		"a:b_c":                            "a:b_c",
 	}
 	for in, want := range tests {
 		if got := promName(in); got != want {

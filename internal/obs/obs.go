@@ -47,6 +47,7 @@ type Collector func() map[string]float64
 type shared struct {
 	reg   *Registry
 	trace *Trace
+	spans *SpanStore
 
 	mu         sync.Mutex
 	collectors map[string]Collector
@@ -67,12 +68,17 @@ type Options struct {
 	Logger *slog.Logger
 	// TraceCap bounds the event ring. Default 1024.
 	TraceCap int
+	// SpanCap bounds the operation span ring. Default 4096.
+	SpanCap int
 }
 
 // New builds an Obs with a fresh registry and trace ring.
 func New(opts Options) *Obs {
 	if opts.TraceCap <= 0 {
 		opts.TraceCap = 1024
+	}
+	if opts.SpanCap <= 0 {
+		opts.SpanCap = 4096
 	}
 	log := opts.Logger
 	if log == nil {
@@ -82,6 +88,7 @@ func New(opts Options) *Obs {
 		sh: &shared{
 			reg:        NewRegistry(),
 			trace:      NewTrace(opts.TraceCap),
+			spans:      NewSpanStore(opts.SpanCap),
 			collectors: make(map[string]Collector),
 		},
 		log: log,
@@ -91,7 +98,7 @@ func New(opts Options) *Obs {
 // Nop returns an Obs that records metrics and trace events but logs
 // nowhere. It is what layers substitute for a nil Obs so instrumented code
 // never nil-checks.
-func Nop() *Obs { return New(Options{TraceCap: 64}) }
+func Nop() *Obs { return New(Options{TraceCap: 64, SpanCap: 1024}) }
 
 // With derives a view that stamps the given attributes on every event it
 // emits (and on its slog records). The registry, trace, and collectors are
@@ -116,6 +123,9 @@ func (o *Obs) Logger() *slog.Logger { return o.log }
 
 // Events returns the trace ring.
 func (o *Obs) Events() *Trace { return o.sh.trace }
+
+// Spans returns the operation span store.
+func (o *Obs) Spans() *SpanStore { return o.sh.spans }
 
 // Counter is shorthand for Reg().Counter.
 func (o *Obs) Counter(name string) *Counter { return o.sh.reg.Counter(name) }

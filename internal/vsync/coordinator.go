@@ -1,6 +1,9 @@
 package vsync
 
 import (
+	"time"
+
+	"paso/internal/obs"
 	"paso/internal/transport"
 )
 
@@ -30,6 +33,14 @@ type pendingCast struct {
 	resp    []byte
 	fail    bool
 	size    int
+	// Tracing state (zero when the cast is untraced): the "order" span
+	// minted at sequencing time, recorded when the gather completes.
+	group  string
+	trace  uint64
+	parent uint64
+	span   uint64
+	start  time.Time
+	bytes  int
 }
 
 type queuedReq struct {
@@ -258,6 +269,12 @@ func (n *Node) coordCast(w *wire) {
 		fail:    true,
 		size:    len(g.members),
 	}
+	if w.Trace != 0 {
+		pc.group, pc.trace, pc.parent = w.Group, w.Trace, w.Span
+		pc.span = obs.NextID()
+		pc.start = time.Now()
+		pc.bytes = len(w.Payload)
+	}
 	for _, m := range g.members {
 		pc.waiting[m] = true
 	}
@@ -270,6 +287,8 @@ func (n *Node) coordCast(w *wire) {
 		ReqID:   w.ReqID,
 		Origin:  w.Origin,
 		Payload: w.Payload,
+		Trace:   w.Trace,
+		Span:    pc.span,
 	}
 	for _, m := range g.members {
 		n.send(m, ordered)
@@ -357,6 +376,14 @@ func (n *Node) coordAck(from transport.NodeID, w *wire) {
 
 func (n *Node) finishCast(g *coordGroup, seq uint64, pc *pendingCast) {
 	delete(g.pending, seq)
+	if pc.trace != 0 {
+		n.o.Spans().Record(obs.Span{
+			Trace: pc.trace, ID: pc.span, Parent: pc.parent,
+			Machine: nid(n.self), Name: "order", Group: pc.group,
+			Start: pc.start, Bytes: pc.bytes, RespBytes: len(pc.resp),
+			GroupSize: pc.size, Fail: pc.fail,
+		})
+	}
 	n.send(pc.origin, &wire{
 		Type:    tReply,
 		ReqID:   pc.reqID,

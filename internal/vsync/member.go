@@ -2,6 +2,7 @@ package vsync
 
 import (
 	"fmt"
+	"time"
 
 	"paso/internal/obs"
 	"paso/internal/transport"
@@ -58,7 +59,23 @@ func (n *Node) drain(g *memberState, orderer transport.NodeID) {
 func (n *Node) apply(g *memberState, orderer transport.NodeID, w *wire) {
 	switch w.Event {
 	case evData:
-		resp, fail := n.deliverOnce(g, w)
+		var dstart time.Time
+		if w.Trace != 0 {
+			dstart = time.Now()
+		}
+		resp, fail, dup := n.deliverOnce(g, w)
+		if w.Trace != 0 {
+			note := ""
+			if dup {
+				note = "dup-suppressed"
+			}
+			n.o.Spans().Record(obs.Span{
+				Trace: w.Trace, ID: obs.NextID(), Parent: w.Span,
+				Machine: nid(n.self), Name: "deliver", Group: g.name,
+				Start: dstart, Bytes: len(w.Payload), RespBytes: len(resp),
+				Fail: fail, Note: note,
+			})
+		}
 		n.send(orderer, &wire{
 			Type:    tAck,
 			Group:   g.name,
@@ -111,12 +128,13 @@ func (n *Node) emitViewChange(g *memberState, event string, subject transport.No
 }
 
 // deliverOnce invokes the handler unless the (origin, reqID) pair was
-// already delivered, in which case the cached response is replayed.
-func (n *Node) deliverOnce(g *memberState, w *wire) (resp []byte, fail bool) {
+// already delivered, in which case the cached response is replayed and dup
+// reports the suppression.
+func (n *Node) deliverOnce(g *memberState, w *wire) (resp []byte, fail, dup bool) {
 	entries := g.delivered[w.Origin]
 	for _, e := range entries {
 		if e.ReqID == w.ReqID {
-			return e.Resp, e.Fail
+			return e.Resp, e.Fail, true
 		}
 	}
 	resp, fail = n.h.Deliver(g.name, tid(w.Origin), w.Payload)
@@ -125,7 +143,7 @@ func (n *Node) deliverOnce(g *memberState, w *wire) (resp []byte, fail bool) {
 		entries = entries[len(entries)-maxDeliveredCache:]
 	}
 	g.delivered[w.Origin] = entries
-	return resp, fail
+	return resp, fail, false
 }
 
 // sendSnapshot ships this member's state for the group to a joiner or
@@ -216,7 +234,7 @@ func (n *Node) memberRestate(from transport.NodeID, w *wire) {
 	// coordinator change works as for any client request, and resolution
 	// happens locally at activation. Nobody waits on the channel; it is
 	// buffered so resolution never blocks the loop.
-	n.startRequest(tJoinReq, w.Group, nil, make(chan Result, 1))
+	n.startRequest(tJoinReq, w.Group, nil, make(chan Result, 1), 0, 0)
 }
 
 // donorResync handles a coordinator instruction to push state to a member

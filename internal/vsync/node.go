@@ -100,6 +100,15 @@ type pendingReq struct {
 	// group is set for join/leave requests, resolved by local events
 	// rather than a tReply.
 	group string
+	// Tracing state (zero when the request is untraced): the span minted
+	// for this request, its parent, start time, payload size, and whether
+	// the request was ever retransmitted to a new coordinator.
+	trace         uint64
+	parent        uint64
+	span          uint64
+	start         time.Time
+	bytes         int
+	retransmitted bool
 }
 
 // memberState is this node's view of a group it belongs to (or is joining).
@@ -206,9 +215,20 @@ func (n *Node) do(f func()) bool {
 // crash while the broadcast is in flight are dropped from the gather
 // set; the call completes against the survivors.
 func (n *Node) Gcast(group string, payload []byte) (Result, error) {
+	return n.GcastTraced(group, payload, 0, 0)
+}
+
+// GcastTraced is Gcast carrying a tracing context: trace is the operation's
+// trace ID and parent the caller's span (normally the primitive's root
+// span). The node mints a "gcast" span for the request, embeds the IDs in
+// the wire envelope so the coordinator and members can parent their own
+// spans on it, and records the span into its Obs span store when the
+// request resolves. A zero trace disables all of it — Gcast(g, p) is
+// exactly GcastTraced(g, p, 0, 0).
+func (n *Node) GcastTraced(group string, payload []byte, trace, parent uint64) (Result, error) {
 	start := time.Now()
 	ch := make(chan Result, 1)
-	ok := n.do(func() { n.startRequest(tCastReq, group, payload, ch) })
+	ok := n.do(func() { n.startRequest(tCastReq, group, payload, ch, trace, parent) })
 	if !ok {
 		return Result{}, ErrClosed
 	}
@@ -239,7 +259,7 @@ func (n *Node) Join(group string) error {
 			ch <- Result{}
 			return
 		}
-		n.startRequest(tJoinReq, group, nil, ch)
+		n.startRequest(tJoinReq, group, nil, ch, 0, 0)
 	})
 	if !ok {
 		return ErrClosed
@@ -263,7 +283,7 @@ func (n *Node) Leave(group string) error {
 			ch <- Result{}
 			return
 		}
-		n.startRequest(tLeaveReq, group, nil, ch)
+		n.startRequest(tLeaveReq, group, nil, ch, 0, 0)
 	})
 	if !ok {
 		return ErrClosed
@@ -416,9 +436,34 @@ func (n *Node) flushOutbox() {
 
 func (n *Node) failAllPending() {
 	for _, p := range n.pending {
+		if p.trace != 0 {
+			p.retransmitted = false // the note below explains the outcome instead
+			n.o.Spans().Record(obs.Span{
+				Trace: p.trace, ID: p.span, Parent: p.parent,
+				Machine: nid(n.self), Name: "gcast", Group: p.group,
+				Start: p.start, Bytes: p.bytes, Fail: true, Note: "node closed",
+			})
+		}
 		p.ch <- Result{Fail: true}
 	}
 	n.pending = nil
+}
+
+// recordReqSpan records a traced request's client-side span at resolution.
+func (n *Node) recordReqSpan(p *pendingReq, resp []byte, fail bool, size int) {
+	if p.trace == 0 {
+		return
+	}
+	note := ""
+	if p.retransmitted {
+		note = "retransmit"
+	}
+	n.o.Spans().Record(obs.Span{
+		Trace: p.trace, ID: p.span, Parent: p.parent,
+		Machine: nid(n.self), Name: "gcast", Group: p.group,
+		Start: p.start, Bytes: p.bytes, RespBytes: len(resp),
+		GroupSize: size, Fail: fail, Note: note,
+	})
 }
 
 func (n *Node) handleItem(it transport.Item) {
@@ -537,16 +582,19 @@ func (n *Node) recomputeCoord() {
 }
 
 // retransmitPending resends every unresolved client request to the current
-// coordinator. Duplicate orderings are suppressed at delivery time.
+// coordinator. Duplicate orderings are suppressed at delivery time. Traced
+// requests are marked so their span shows the failover.
 func (n *Node) retransmitPending() {
 	for _, p := range n.pending {
+		p.retransmitted = true
 		n.send(n.coord, p.w)
 	}
 }
 
 // startRequest registers a pending client request and sends it to the
-// coordinator.
-func (n *Node) startRequest(t msgType, group string, payload []byte, ch chan Result) {
+// coordinator. A non-zero trace mints the request's span and embeds the
+// tracing header in the wire envelope.
+func (n *Node) startRequest(t msgType, group string, payload []byte, ch chan Result, trace, parent uint64) {
 	n.reqSeq++
 	w := &wire{
 		Type:    t,
@@ -557,6 +605,13 @@ func (n *Node) startRequest(t msgType, group string, payload []byte, ch chan Res
 		Payload: payload,
 	}
 	p := &pendingReq{w: w, ch: ch, group: group}
+	if trace != 0 {
+		p.trace, p.parent = trace, parent
+		p.span = obs.NextID()
+		p.start = time.Now()
+		p.bytes = len(payload)
+		w.Trace, w.Span = trace, p.span
+	}
 	n.pending[w.ReqID] = p
 	if t == tJoinReq {
 		// Pre-create the member record so ordered events can be buffered
@@ -575,6 +630,7 @@ func (n *Node) clientReply(w *wire) {
 		return // duplicate reply after retransmission
 	}
 	delete(n.pending, w.ReqID)
+	n.recordReqSpan(p, w.Payload, w.Fail, w.Size)
 	if p.w.Type == tLeaveReq {
 		// The coordinator resolved the leave without an ordered event
 		// (membership record lost across a recovery); erase local state

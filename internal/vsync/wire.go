@@ -84,7 +84,15 @@ type wire struct {
 	Fail    bool
 	Size    int // |group| at ordering time, piggybacked on replies
 	UpTo    uint64
-	Infos   map[string]syncInfo // tSyncInfo only
+	// Trace and Span are the tracing header (PROTOCOL.md "Trace header"):
+	// Trace is the operation's trace ID, Span the sender-side span the
+	// receiver should parent its own span on (the client's gcast span in
+	// tCastReq, the coordinator's order span in tOrdered). Both are zero —
+	// and, being gob zero values, absent from the encoded frame — when the
+	// originating primitive was not traced.
+	Trace uint64
+	Span  uint64
+	Infos map[string]syncInfo // tSyncInfo only
 	// Batch carries the coalesced messages of a tBatch frame, in send
 	// order. The receiver dispatches them in sequence, so per-destination
 	// FIFO — and with it the total order of tOrdered events — is exactly
