@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench doccheck chaos trace-race check clean
+.PHONY: build test race vet bench doccheck chaos trace-race wire-fuzz check clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ doccheck:
 trace-race:
 	$(GO) test -race -run 'Trace|Span|Assemble|Audit' -count=1 \
 		./internal/vsync/ ./internal/obs/ ./internal/core/ ./internal/faults/ ./cmd/pasoctl/
+
+# Coverage-guided fuzzing of the wire codec (30s total budget): the frame
+# decoder must never panic on arbitrary bytes, and every accepted frame
+# must round-trip bijectively (PROTOCOL.md, "Wire format").
+wire-fuzz:
+	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 20s -run '^$$' ./internal/vsync/
+	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 10s -run '^$$' ./internal/vsync/
 
 # Deterministic fault-injection smoke under the race detector; failures
 # replay bit-identically from the same seed (README, "Chaos testing").

@@ -49,7 +49,7 @@ type Config struct {
 	// it through the vsync wire envelopes, so each machine records spans
 	// for its part of the operation (gcast, ordering, delivery) into its
 	// Obs span store. Off by default: untraced operations carry zero
-	// trace fields, which gob omits from the encoded frames entirely.
+	// trace fields, costing two varint bytes per encoded frame.
 	TraceOps bool
 
 	// NewPolicy builds the adaptive replication policy for one

@@ -114,6 +114,13 @@ type ThroughputResult struct {
 	Flushes        int64   `json:"flushes"`
 	FramesPerFlush float64 `json:"frames_per_flush"`
 	BytesSent      int64   `json:"bytes_sent"`
+
+	// Per-frame size on the wire (header + payload), from the
+	// transport.frame.bytes histogram: the |m| of the §3.3 msg-cost model
+	// as actually measured, where the compact codec's shrink shows up.
+	FrameBytesMean float64 `json:"frame_bytes_mean,omitempty"`
+	FrameBytesP50  float64 `json:"frame_bytes_p50,omitempty"`
+	FrameBytesP99  float64 `json:"frame_bytes_p99,omitempty"`
 }
 
 func summarize(h *obs.Histogram) LatencySummary {
@@ -316,6 +323,11 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	if res.Flushes > 0 {
 		res.FramesPerFlush = float64(res.FramesSent) / float64(res.Flushes)
 	}
+	if fb := o.Histogram("transport.frame.bytes").Snapshot(); fb.Count > 0 {
+		res.FrameBytesMean = fb.Mean
+		res.FrameBytesP50 = fb.P50
+		res.FrameBytesP99 = fb.P99
+	}
 	return res, nil
 }
 
@@ -332,5 +344,9 @@ func (r *ThroughputResult) Table() *stats.Table {
 		stats.F(r.Total.P50Ms), stats.F(r.Total.P90Ms), stats.F(r.Total.P99Ms))
 	tb.AddNote("machines=%d workers=%d ops/sec=%.0f fails=%d frames/flush=%.2f",
 		r.Machines, r.Workers, r.OpsPerSec, r.Fails, r.FramesPerFlush)
+	if r.FrameBytesMean > 0 {
+		tb.AddNote("frame bytes: mean=%.0f p50=%.0f p99=%.0f (§3.3 |m|)",
+			r.FrameBytesMean, r.FrameBytesP50, r.FrameBytesP99)
+	}
 	return tb
 }

@@ -19,9 +19,12 @@ import (
 // documented packages must carry a doc comment on the package clause and
 // on every exported type, function, method, constant block, and variable.
 // These are the packages whose godoc is normative: vsync implements the
-// §3 protocol, simnet and faults define the fault plane (FAULTS.md).
+// §3 protocol (including the compact wire codec of PROTOCOL.md "Wire
+// format"), transport defines the buffer-ownership contract the codec's
+// pooling relies on, simnet and faults define the fault plane (FAULTS.md).
 var documented = []string{
 	"../vsync",
+	"../transport",
 	"../simnet",
 	"../faults",
 	"../obs",

@@ -379,7 +379,10 @@ type Endpoint struct {
 	closed bool
 }
 
-var _ transport.Endpoint = (*Endpoint)(nil)
+var (
+	_ transport.Endpoint    = (*Endpoint)(nil)
+	_ transport.OwnedSender = (*Endpoint)(nil)
+)
 
 // ID implements transport.Endpoint.
 func (e *Endpoint) ID() transport.NodeID { return e.id }
@@ -397,6 +400,16 @@ func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 	}
 	e.net.send(e.id, to, payload)
 	return nil
+}
+
+// SendOwned implements transport.OwnedSender. The simulated bus copies the
+// payload per delivery before Send returns, so the pooled buffer can be
+// recycled immediately — encode-buffer reuse behaves identically in
+// simulation and deployment.
+func (e *Endpoint) SendOwned(to transport.NodeID, payload []byte) error {
+	err := e.Send(to, payload)
+	transport.PutBuf(payload)
+	return err
 }
 
 // Recv implements transport.Endpoint. The channel closes when the node

@@ -107,15 +107,19 @@ type Endpoint struct {
 	cFlushes     *obs.Counter
 	cFlushFrames *obs.Counter
 	hFlushBatch  *obs.Histogram
+	hFrameBytes  *obs.Histogram
 	cSendDrops   *obs.Counter
 	cSendStalls  *obs.Counter
 }
 
 // outFrame is one queued outgoing frame. hb marks heartbeats (and the
-// hello), which are counted separately from data frames.
+// hello), which are counted separately from data frames. owned marks a
+// payload drawn from the transport buffer pool (SendOwned): the writer
+// recycles it once the frame is written or dropped.
 type outFrame struct {
 	payload []byte
 	hb      bool
+	owned   bool
 }
 
 // peer is the outgoing side of a link: a bounded queue drained by one
@@ -146,7 +150,10 @@ func (p *peer) closeConn() {
 	p.mu.Unlock()
 }
 
-var _ transport.Endpoint = (*Endpoint)(nil)
+var (
+	_ transport.Endpoint    = (*Endpoint)(nil)
+	_ transport.OwnedSender = (*Endpoint)(nil)
+)
 
 // Listen starts an endpoint accepting frames on addr (use "127.0.0.1:0"
 // to pick a free port; Addr reports the actual address). Peers are added
@@ -180,6 +187,7 @@ func Listen(id transport.NodeID, addr string, opts Options) (*Endpoint, error) {
 	e.cFlushes = e.o.Counter("transport.flushes")
 	e.cFlushFrames = e.o.Counter("transport.flush.frames")
 	e.hFlushBatch = e.o.Histogram("transport.flush.batch")
+	e.hFrameBytes = e.o.Histogram("transport.frame.bytes")
 	e.cSendDrops = e.o.Counter("transport.send.drops")
 	e.cSendStalls = e.o.Counter("transport.send.stalls")
 	e.wg.Add(2)
@@ -232,6 +240,17 @@ func (e *Endpoint) Alive() []transport.NodeID {
 // drops, as on a LAN. A full queue to a live peer blocks (backpressure)
 // until the writer drains it or the endpoint closes.
 func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
+	return e.send(to, payload, false)
+}
+
+// SendOwned implements transport.OwnedSender: Send, except the payload
+// buffer came from transport.GetBuf and the endpoint recycles it after the
+// frame is written or dropped.
+func (e *Endpoint) SendOwned(to transport.NodeID, payload []byte) error {
+	return e.send(to, payload, true)
+}
+
+func (e *Endpoint) send(to transport.NodeID, payload []byte, owned bool) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -243,15 +262,21 @@ func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 		cp := make([]byte, len(payload))
 		copy(cp, payload)
 		e.mu.Unlock()
+		if owned {
+			transport.PutBuf(payload)
+		}
 		e.mbox.Put(transport.Item{Kind: transport.KindMsg, From: e.id, Payload: cp})
 		return nil
 	}
 	p := e.peers[to]
 	e.mu.Unlock()
 	if p == nil {
+		if owned {
+			transport.PutBuf(payload)
+		}
 		return nil
 	}
-	f := outFrame{payload: payload}
+	f := outFrame{payload: payload, owned: owned}
 	select {
 	case p.q <- f:
 		return nil
@@ -262,6 +287,9 @@ func (e *Endpoint) Send(to transport.NodeID, payload []byte) error {
 	case p.q <- f:
 		return nil
 	case <-e.stop:
+		if owned {
+			transport.PutBuf(payload)
+		}
 		return transport.ErrClosed
 	}
 }
@@ -362,6 +390,12 @@ func (e *Endpoint) writerLoop(p *peer) {
 			} else {
 				msgs++
 				bytes += int64(len(fr.payload))
+				e.hFrameBytes.Observe(float64(frameHdrSize + len(fr.payload)))
+			}
+			if fr.owned {
+				// The bufio writer consumed the bytes during writeFrameTo;
+				// the pooled buffer is free to carry the next frame.
+				transport.PutBuf(fr.payload)
 			}
 		}
 		if msgs > 0 {
@@ -375,12 +409,16 @@ func (e *Endpoint) writerLoop(p *peer) {
 }
 
 // dropFrame accounts for one undeliverable frame: heartbeat misses feed
-// the detector's counter, data drops their own.
+// the detector's counter, data drops their own. Pooled payloads go back to
+// the buffer pool — a dropped frame is fully forgotten.
 func (e *Endpoint) dropFrame(f outFrame) {
 	if f.hb {
 		e.cHBMiss.Inc()
 	} else {
 		e.cSendDrops.Inc()
+	}
+	if f.owned {
+		transport.PutBuf(f.payload)
 	}
 }
 
@@ -533,6 +571,11 @@ func (e *Endpoint) detectorLoop() {
 // --- framing ---
 
 const maxFrame = 64 << 20 // 64 MiB: state transfers can be large
+
+// frameHdrSize is the fixed per-frame header: 4-byte length + 8-byte
+// sender id. transport.frame.bytes observes header + payload, the actual
+// bytes a data frame occupies on the wire.
+const frameHdrSize = 12
 
 // writeFrameTo writes one frame using the caller's header scratch buffer
 // (hot path: no per-frame allocation).

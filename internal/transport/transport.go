@@ -13,7 +13,10 @@
 // transport in package tcp (real sockets, heartbeat failure detection).
 package transport
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // NodeID identifies a machine on the network. IDs are small positive
 // integers; the group layer uses "lowest live ID" as its coordinator rule.
@@ -64,6 +67,47 @@ var (
 	// part of the network.
 	ErrUnknownPeer = errors.New("transport: unknown peer")
 )
+
+// OwnedSender is the pooled-buffer send path. An endpoint implementing it
+// accepts payload buffers drawn from GetBuf and takes ownership: once the
+// frame has been written to the wire (or dropped), the endpoint recycles
+// the buffer with PutBuf. The caller must not read, mutate, or retain the
+// buffer after SendOwned returns. Encoders probe for this interface and
+// fall back to Send — where the buffer simply leaks to the garbage
+// collector, which is always safe — when the transport does not implement
+// it.
+type OwnedSender interface {
+	// SendOwned is Send with buffer-ownership transfer; same delivery
+	// semantics, same errors.
+	SendOwned(to NodeID, payload []byte) error
+}
+
+// bufPool recycles payload buffers between the protocol encoders and the
+// transports' write paths. Buffers are pooled as *[]byte so Get avoids an
+// allocation; the steady-state encode path costs zero allocations once the
+// pool is warm.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// maxPooledBuf bounds what PutBuf keeps: buffers grown by a jumbo frame
+// (state transfers can reach megabytes) are dropped so the pool does not
+// pin them forever.
+const maxPooledBuf = 1 << 20
+
+// GetBuf returns an empty payload buffer from the shared pool. Append to
+// it, hand the result to an OwnedSender, and the transport recycles it; on
+// any other path the buffer is garbage collected like a plain allocation.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns a buffer to the shared pool. Callers must guarantee no
+// reference to the buffer survives the call. Oversized buffers are dropped.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(&b)
+}
 
 // Endpoint is one node's attachment to the network. Send never blocks on
 // the receiver; delivery is asynchronous and reliable FIFO per sender pair

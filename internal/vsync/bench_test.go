@@ -67,6 +67,66 @@ func BenchmarkGcastPipelined(b *testing.B) {
 	})
 }
 
+// benchWire is the envelope the codec benchmarks serialize: a traced
+// small-tuple gcast, the hot message shape on the ordering path.
+func benchWire() *wire {
+	return &wire{
+		Type: tCastReq, Group: "wg.job/3", ReqID: 0x9e3779b97f4a7c15,
+		Origin: 3, Subject: 3, Trace: 0xCAFE, Span: 0xBEEF,
+		Payload: []byte("0123456789abcdef0123456789abcdef0123456789abcdef"),
+	}
+}
+
+// BenchmarkWireEncode measures the steady-state encode path as the
+// transport exercises it: encode into a pooled buffer, recycle after the
+// write. Gob baseline (recorded before its removal, same envelope):
+// 5748 ns/op, 2288 B/op, 23 allocs/op.
+func BenchmarkWireEncode(b *testing.B) {
+	w := benchWire()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := encodeWire(w)
+		b.SetBytes(int64(len(buf)))
+		transport.PutBuf(buf)
+	}
+}
+
+// BenchmarkWireDecode measures the receive path with a warmed decoder, as
+// on a node's loop: the group name is interned, payload aliases the frame.
+// Gob baseline: 29917 ns/op, 13312 B/op, 317 allocs/op.
+func BenchmarkWireDecode(b *testing.B) {
+	enc := encodeWire(benchWire())
+	var dec wireDecoder
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncodeBatch8 covers the coalesced frame the outbox builds
+// under load: eight tOrdered envelopes sharing one header.
+func BenchmarkWireEncodeBatch8(b *testing.B) {
+	batch := &wire{Type: tBatch}
+	for i := 0; i < 8; i++ {
+		batch.Batch = append(batch.Batch, wire{
+			Type: tOrdered, Group: "wg.job/3", Seq: uint64(100 + i), Event: evData,
+			ReqID: uint64(300 + i), Origin: 3, Payload: []byte("0123456789abcdef"),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := encodeWire(batch)
+		b.SetBytes(int64(len(buf)))
+		transport.PutBuf(buf)
+	}
+}
+
 // BenchmarkJoinWithState measures g-join cost as a function of group state
 // size (the O(ℓ) transfer of §5).
 func BenchmarkJoinWithState(b *testing.B) {

@@ -1,6 +1,7 @@
 package vsync
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -275,28 +276,29 @@ func (n *Node) memberNodeDown(dead transport.NodeID) {
 }
 
 // idsFromWire extracts the membership list carried by a join event. The
-// coordinator embeds it in Payload as 8-byte IDs to give the joiner its
-// initial view.
+// coordinator embeds it in Payload as varints to give the joiner its
+// initial view; the payload's own length prefix delimits the list. A
+// truncated varint ends the list early — harmless, since a garbled frame
+// is already rejected by the envelope decoder upstream.
 func idsFromWire(w *wire) []transport.NodeID {
-	out := make([]transport.NodeID, 0, len(w.Payload)/8)
-	for i := 0; i+8 <= len(w.Payload); i += 8 {
-		var v uint64
-		for b := 0; b < 8; b++ {
-			v |= uint64(w.Payload[i+b]) << (8 * b)
+	out := make([]transport.NodeID, 0, len(w.Payload))
+	for b := w.Payload; len(b) > 0; {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			break
 		}
 		out = append(out, transport.NodeID(v))
+		b = b[n:]
 	}
 	return out
 }
 
-// idsToWire serializes a membership list for a join event.
+// idsToWire serializes a membership list for a join event. Node IDs are
+// small integers, so the varint list costs ~1 byte per member instead of 8.
 func idsToWire(ids []transport.NodeID) []byte {
-	out := make([]byte, 0, len(ids)*8)
+	out := make([]byte, 0, 2*len(ids))
 	for _, id := range ids {
-		v := uint64(id)
-		for b := 0; b < 8; b++ {
-			out = append(out, byte(v>>(8*b)))
-		}
+		out = binary.AppendUvarint(out, uint64(id))
 	}
 	return out
 }

@@ -60,6 +60,12 @@ type Node struct {
 	ep   transport.Endpoint
 	h    Handler
 	self transport.NodeID
+	// owned is non-nil when the endpoint supports pooled-buffer sends
+	// (both bundled transports do): encoded frames then cycle through the
+	// transport buffer pool instead of being allocated per message.
+	owned transport.OwnedSender
+	// dec decodes incoming frames, interning group names. Loop-owned.
+	dec wireDecoder
 
 	cmds chan func()
 	stop chan struct{}
@@ -91,6 +97,10 @@ type Node struct {
 	cBatchSends *obs.Counter
 	cBatchMsgs  *obs.Counter
 	hBatchOcc   *obs.Histogram
+	cWireReject *obs.Counter
+	// hFrame records encoded frame bytes per message type (indexed by
+	// msgType), the measured |m| of the §3.3 cost model.
+	hFrame [tBatch + 1]*obs.Histogram
 }
 
 // pendingReq is a client-side request awaiting resolution.
@@ -158,6 +168,11 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 		cBatchSends: o.Counter("vsync.batch.sends"),
 		cBatchMsgs:  o.Counter("vsync.batch.msgs"),
 		hBatchOcc:   o.Histogram("vsync.batch.occupancy"),
+		cWireReject: o.Counter("vsync.wire.rejects"),
+	}
+	n.owned, _ = ep.(transport.OwnedSender)
+	for t := tCastReq; t <= tBatch; t++ {
+		n.hFrame[t] = o.Histogram("vsync.frame.bytes." + t.String())
 	}
 	// Request IDs must not collide across incarnations of the same node ID
 	// (a restarted machine's early requests would otherwise be swallowed
@@ -495,9 +510,15 @@ func (n *Node) handleItem(it transport.Item) {
 		// instead, and the per-origin cache is bounded.
 		n.recomputeCoord()
 	case transport.KindMsg:
-		w, err := decodeWire(it.Payload)
+		w, err := n.dec.decode(it.Payload)
 		if err != nil {
-			return // corrupt frame: drop, as a real NIC would
+			// Reject at the transport boundary: a version mismatch (a peer
+			// on the old codec or a future format) and a corrupt frame are
+			// both dropped, as a real NIC would drop a bad checksum — but
+			// counted and logged so a mixed-version cluster is visible.
+			n.cWireReject.Inc()
+			n.o.Emit("wire-reject", obs.KV("from", it.From), obs.KV("err", err.Error()))
+			return
 		}
 		n.dispatch(it.From, w)
 	}
@@ -536,9 +557,10 @@ func (n *Node) dispatch(from transport.NodeID, w *wire) {
 
 // SendApp transmits an application payload directly to a peer, outside any
 // group. Unlike the other methods it is safe to call from Handler callbacks
-// (it does not go through the event loop).
+// (it does not go through the event loop; the encoder and the pooled send
+// path are safe for concurrent use).
 func (n *Node) SendApp(to transport.NodeID, payload []byte) error {
-	return n.ep.Send(to, encodeWire(&wire{Type: tApp, Payload: payload}))
+	return n.sendNow(to, &wire{Type: tApp, Payload: payload})
 }
 
 // send stages a wire message for the destination; the loop flushes the
@@ -553,7 +575,22 @@ func (n *Node) send(to transport.NodeID, w *wire) {
 
 // xmit serializes and transmits one frame immediately.
 func (n *Node) xmit(to transport.NodeID, w *wire) {
-	_ = n.ep.Send(to, encodeWire(w)) // closed endpoint: loop exits soon
+	_ = n.sendNow(to, w) // closed endpoint: loop exits soon
+}
+
+// sendNow encodes w into a pooled buffer and hands it to the transport,
+// transferring buffer ownership when the endpoint supports it. The frame's
+// encoded size is recorded per message type — the actual |m| that the §3.3
+// msg-cost model prices.
+func (n *Node) sendNow(to transport.NodeID, w *wire) error {
+	buf := encodeWire(w)
+	if h := n.hFrame[w.Type]; h != nil {
+		h.Observe(float64(len(buf)))
+	}
+	if n.owned != nil {
+		return n.owned.SendOwned(to, buf)
+	}
+	return n.ep.Send(to, buf)
 }
 
 // recomputeCoord re-derives the coordinator (lowest live node) and reacts

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"paso/internal/cost"
 	"paso/internal/obs"
@@ -226,17 +227,28 @@ func TestTraceSurvivesCoordinatorFailover(t *testing.T) {
 		err   error
 	}
 	results := make(chan done, 60)
-	sender, senderObs, senderH := h.nds[2], h.os[2], h.hs[2]
+	sender, senderObs := h.nds[2], h.os[2]
+	// The sender signals after its fifth completed cast so the crash lands
+	// with 55 casts still to come — polling delivery counts instead loses
+	// the race on a loaded machine: the compact codec resolves the whole
+	// burst faster than a starved poll loop gets rescheduled.
+	crashNow := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 60; i++ {
+			if i == 5 {
+				close(crashNow)
+			}
 			trace, res, err := tracedGcastOn(senderObs, sender, 2, "g", []byte(fmt.Sprintf("m%02d", i)))
 			results <- done{trace, res, err}
+			// Keep a gap between casts so the concurrent crash can land
+			// between round trips, not only inside one.
+			time.Sleep(100 * time.Microsecond)
 		}
 	}()
-	waitFor(t, "some casts delivered", func() bool { return len(senderH.log("g")) > 5 })
+	<-crashNow
 	h.crash(1) // node 1 is the coordinator (lowest ID)
 	wg.Wait()
 	close(results)

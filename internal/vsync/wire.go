@@ -33,10 +33,6 @@
 package vsync
 
 import (
-	"bytes"
-	"encoding/gob"
-	"fmt"
-
 	"paso/internal/transport"
 )
 
@@ -59,6 +55,40 @@ const (
 	tBatch                       // container: several messages coalesced into one frame
 )
 
+// String names the message type, for metric names and diagnostics.
+func (t msgType) String() string {
+	switch t {
+	case tCastReq:
+		return "castreq"
+	case tJoinReq:
+		return "joinreq"
+	case tLeaveReq:
+		return "leavereq"
+	case tOrdered:
+		return "ordered"
+	case tAck:
+		return "ack"
+	case tReply:
+		return "reply"
+	case tState:
+		return "state"
+	case tSync:
+		return "sync"
+	case tSyncInfo:
+		return "syncinfo"
+	case tResync:
+		return "resync"
+	case tApp:
+		return "app"
+	case tRestate:
+		return "restate"
+	case tBatch:
+		return "batch"
+	default:
+		return "invalid"
+	}
+}
+
 // eventKind discriminates sequenced events inside tOrdered.
 type eventKind uint8
 
@@ -70,7 +100,8 @@ const (
 )
 
 // wire is the single on-the-wire message envelope. One struct for all
-// message types keeps the gob stream simple; unused fields are zero.
+// message types keeps the protocol code simple; unused fields are zero and
+// cost one byte each under the varint codec (codec.go).
 type wire struct {
 	Type    msgType
 	Group   string
@@ -88,8 +119,8 @@ type wire struct {
 	// Trace is the operation's trace ID, Span the sender-side span the
 	// receiver should parent its own span on (the client's gcast span in
 	// tCastReq, the coordinator's order span in tOrdered). Both are zero —
-	// and, being gob zero values, absent from the encoded frame — when the
-	// originating primitive was not traced.
+	// each costing a single varint byte on the wire — when the originating
+	// primitive was not traced.
 	Trace uint64
 	Span  uint64
 	Infos map[string]syncInfo // tSyncInfo only
@@ -122,40 +153,6 @@ type deliveredEntry struct {
 	ReqID uint64
 	Resp  []byte
 	Fail  bool
-}
-
-func encodeWire(w *wire) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		// Encoding our own fixed struct cannot fail except for programmer
-		// error; surface it loudly during development.
-		panic(fmt.Sprintf("vsync: encode wire: %v", err))
-	}
-	return buf.Bytes()
-}
-
-func decodeWire(b []byte) (*wire, error) {
-	var w wire
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
-		return nil, fmt.Errorf("decode wire: %w", err)
-	}
-	return &w, nil
-}
-
-func encodeSnapshot(s *snapshotEnvelope) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		panic(fmt.Sprintf("vsync: encode snapshot: %v", err))
-	}
-	return buf.Bytes()
-}
-
-func decodeSnapshot(b []byte) (*snapshotEnvelope, error) {
-	var s snapshotEnvelope
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
-		return nil, fmt.Errorf("decode snapshot: %w", err)
-	}
-	return &s, nil
 }
 
 // nid converts a transport node ID for wire embedding.
