@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench doccheck chaos trace-race wire-fuzz check clean
+.PHONY: build test race vet bench doccheck chaos trace-race wire-fuzz sweep sweep-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,22 @@ trace-race:
 wire-fuzz:
 	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 20s -run '^$$' ./internal/vsync/
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 10s -run '^$$' ./internal/vsync/
+
+# Full saturation sweep on a real loopback-TCP cluster: an open-loop rate
+# ladder with coordinated-omission-safe latencies and per-stage
+# attribution, appended to BENCH_paso.json (EXPERIMENTS.md, "Latency
+# sweep").
+sweep:
+	$(GO) run ./cmd/paso-loadgen -sweep 500,1000,2000,4000,8000 -rung 2s \
+		-out BENCH_paso.json -label "make sweep"
+
+# CI-sized sweep smoke: a two-rung mini-sweep on the simulated LAN under
+# the race detector. Fails when the lowest rung cannot achieve 80% of its
+# offered rate — the load plane itself must never be the bottleneck at
+# trivial rates.
+sweep-smoke:
+	$(GO) run -race ./cmd/paso-loadgen -transport simnet -sweep 200,400 \
+		-rung 500ms -sweep-min-achieved 0.8 -out sweep-smoke.json
 
 # Deterministic fault-injection smoke under the race detector; failures
 # replay bit-identically from the same seed (README, "Chaos testing").

@@ -1,9 +1,9 @@
-// Command paso-loadgen drives the end-to-end throughput benchmark: a real
-// TCP cluster under concurrent Insert/Read/ReadDel load from N worker
-// goroutines, measuring ops/sec and latency quantiles from the obs
-// histograms. Each run appends one trajectory point to a JSON file
-// (BENCH_paso.json by default), so the repo tracks its performance over
-// time — the measured counterpart of the §3.3 msg-cost model.
+// Command paso-loadgen drives the end-to-end load experiments: a real
+// TCP cluster under concurrent Insert/Read/ReadDel load, measuring
+// ops/sec and latency quantiles from the obs histograms. Each run appends
+// one trajectory point to a JSON file (BENCH_paso.json by default), so
+// the repo tracks its performance over time — the measured counterpart of
+// the §3.3 msg-cost model.
 //
 // Usage:
 //
@@ -11,10 +11,22 @@
 //	paso-loadgen -machines 5 -workers 32 -duration 10s
 //	paso-loadgen -out BENCH_paso.json -label "PR 2 batched send path"
 //	paso-loadgen -trace-overhead -out BENCH_paso.json
+//	paso-loadgen -sweep 500,1000,2000,4000,8000 -rung 2s -out BENCH_paso.json
+//	paso-loadgen -rate 1000 -rung 2s       # one open-loop rung
 //
 // With -trace-overhead the same workload runs twice — operation tracing
 // off, then on — and both points are appended, so the trajectory records
 // what the tracing plane costs (the PR 4 budget is ≤ 5% on ops/sec).
+//
+// With -sweep (a comma-separated rate ladder) or -rate (a single rung)
+// the closed-loop workers are replaced by the open-loop generator of
+// internal/load: arrivals are scheduled at fixed offsets and latency is
+// measured from the *intended* start, so coordinated omission cannot hide
+// saturation. The appended point has kind "sweep" and carries the full
+// latency-vs-offered-load curve with per-stage attribution. -transport
+// simnet runs the same sweep on the in-process simulated LAN (the CI
+// smoke path); -sweep-min-achieved fails the run (exit 1) when the first
+// rung's achieved rate falls below the given fraction of offered.
 package main
 
 import (
@@ -22,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"paso/internal/experiments"
@@ -34,10 +48,15 @@ type trajectory struct {
 	Points []point `json:"points"`
 }
 
+// point is one trajectory entry. Kind "" (historical) or "throughput"
+// carries the embedded ThroughputResult fields inline; kind "sweep"
+// leaves them nil and fills Sweep instead.
 type point struct {
 	Label string    `json:"label,omitempty"`
 	Date  time.Time `json:"date"`
-	experiments.ThroughputResult
+	Kind  string    `json:"kind,omitempty"`
+	*experiments.ThroughputResult
+	Sweep *experiments.SweepResult `json:"sweep,omitempty"`
 }
 
 func main() {
@@ -49,17 +68,42 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("paso-loadgen", flag.ContinueOnError)
-	machines := fs.Int("machines", 3, "TCP cluster size")
-	workers := fs.Int("workers", 8, "concurrent client goroutines")
-	duration := fs.Duration("duration", 2*time.Second, "measurement window")
+	machines := fs.Int("machines", 3, "cluster size")
+	workers := fs.Int("workers", 8, "concurrent client goroutines (sweep default: 64)")
+	duration := fs.Duration("duration", 2*time.Second, "measurement window (closed-loop mode)")
 	insertFrac := fs.Float64("insert-frac", 0.4, "fraction of inserts")
 	readFrac := fs.Float64("read-frac", 0.4, "fraction of reads (the rest is read&del)")
 	label := fs.String("label", "", "label recorded with the trajectory point")
 	out := fs.String("out", "", "append the point to this JSON trajectory file")
 	traceOps := fs.Bool("trace-ops", false, "run with cross-machine operation tracing enabled")
 	traceOverhead := fs.Bool("trace-overhead", false, "run twice (tracing off, then on) and report the overhead")
+	sweep := fs.String("sweep", "", "comma-separated rate ladder (ops/sec); runs the open-loop sweep")
+	rate := fs.Float64("rate", 0, "single offered rate (ops/sec); runs one open-loop rung")
+	rung := fs.Duration("rung", 2*time.Second, "per-rung arrival window (open-loop modes)")
+	transport := fs.String("transport", "tcp", "cluster fabric for sweeps: tcp or simnet")
+	minAchieved := fs.Float64("sweep-min-achieved", 0,
+		"fail unless the first rung achieves at least this fraction of its offered rate")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sweep != "" || *rate > 0 {
+		rates, err := parseRates(*sweep, *rate)
+		if err != nil {
+			return err
+		}
+		sweepWorkers := *workers
+		if !flagSet(fs, "workers") {
+			sweepWorkers = 0 // let SweepConfig default to 64
+		}
+		return runSweep(experiments.SweepConfig{
+			Machines:     *machines,
+			Workers:      sweepWorkers,
+			Rates:        rates,
+			RungDuration: *rung,
+			InsertFrac:   *insertFrac,
+			ReadFrac:     *readFrac,
+			Transport:    *transport,
+		}, *label, *out, *minAchieved)
 	}
 	cfg := experiments.ThroughputConfig{
 		Machines:   *machines,
@@ -83,8 +127,70 @@ func run(args []string) error {
 	return appendPoint(*out, point{
 		Label:            *label,
 		Date:             time.Now().UTC().Truncate(time.Second),
-		ThroughputResult: *res,
+		ThroughputResult: res,
 	})
+}
+
+// flagSet reports whether the named flag was given explicitly.
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// parseRates turns -sweep "500,1000,..." (or a single -rate) into the
+// ladder, validating order and positivity.
+func parseRates(sweep string, rate float64) ([]float64, error) {
+	if sweep == "" {
+		return []float64{rate}, nil
+	}
+	parts := strings.Split(sweep, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad sweep rate %q", p)
+		}
+		rates = append(rates, v)
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] <= rates[i-1] {
+			return nil, fmt.Errorf("sweep ladder must strictly increase: %v", rates)
+		}
+	}
+	return rates, nil
+}
+
+// runSweep executes the open-loop sweep, prints the curve, appends a
+// "sweep" point, and enforces the -sweep-min-achieved floor.
+func runSweep(cfg experiments.SweepConfig, label, out string, minAchieved float64) error {
+	res, err := experiments.RunSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table().Render())
+	if out != "" {
+		if err := appendPoint(out, point{
+			Label: label,
+			Date:  time.Now().UTC().Truncate(time.Second),
+			Kind:  "sweep",
+			Sweep: res,
+		}); err != nil {
+			return err
+		}
+	}
+	if minAchieved > 0 && len(res.Rungs) > 0 {
+		first := res.Rungs[0]
+		if first.Achieved < minAchieved*first.Offered {
+			return fmt.Errorf("first rung achieved %.0f/s < %.0f%% of offered %.0f/s",
+				first.Achieved, minAchieved*100, first.Offered)
+		}
+	}
+	return nil
 }
 
 // runTraceOverhead measures the tracing plane's cost: the identical
@@ -116,16 +222,18 @@ func runTraceOverhead(cfg experiments.ThroughputConfig, label, out string) error
 	}
 	now := time.Now().UTC().Truncate(time.Second)
 	if err := appendPoint(out, point{
-		Label: label + " tracing=off", Date: now, ThroughputResult: *off,
+		Label: label + " tracing=off", Date: now, ThroughputResult: off,
 	}); err != nil {
 		return err
 	}
 	return appendPoint(out, point{
-		Label: label + " tracing=on", Date: now, ThroughputResult: *on,
+		Label: label + " tracing=on", Date: now, ThroughputResult: on,
 	})
 }
 
-// appendPoint loads (or creates) the trajectory file and appends one point.
+// appendPoint loads (or creates) the trajectory file and appends one
+// point. The encoder keeps HTML escaping off so op names like "read&del"
+// stay literal in the file instead of the HTML-safe \u0026 escape.
 func appendPoint(path string, p point) error {
 	tr := trajectory{Schema: "paso-bench-trajectory/v1"}
 	if raw, err := os.ReadFile(path); err == nil {
@@ -136,11 +244,14 @@ func appendPoint(path string, p point) error {
 		return err
 	}
 	tr.Points = append(tr.Points, p)
-	enc, err := json.MarshalIndent(tr, "", "  ")
-	if err != nil {
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tr); err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("appended point %d to %s\n", len(tr.Points), path)

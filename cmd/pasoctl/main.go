@@ -7,10 +7,14 @@
 //	pasoctl -addr 127.0.0.1:7201 takewait 5s point ?s ?i ?i
 //	pasoctl -addr 127.0.0.1:7201 stat
 //	pasoctl -addr 127.0.0.1:7201 stats
+//	pasoctl -addr 127.0.0.1:7201 stats -stages
 //
 // Most commands get a single response line. "stats" streams the
 // Figure-1-style per-op cost table (one row per operation kind, with
-// latency quantiles) terminated by a lone "." line.
+// latency quantiles) terminated by a lone "." line; "stats -stages"
+// streams the per-stage latency attribution table instead (client queue,
+// encode, send-queue wait, socket write, order, deliver, store apply),
+// the same breakdown the saturation sweep uses to name the bottleneck.
 //
 // The "trace" subcommand talks to the debug endpoints instead of the
 // client port: it merges the spans every machine recorded for one traced

@@ -21,10 +21,13 @@
 // The client protocol is one command per line; see internal/core/protocol.
 //
 // With -debug-addr set, the daemon also serves live observability
-// endpoints: /metrics (JSON, or Prometheus text with ?format=prometheus),
-// /trace (the recent event ring: view changes, policy join/leave
-// decisions, peer up/down), /healthz, and the standard /debug/pprof/
-// profiling handlers.
+// endpoints: /metrics (Prometheus text exposition — counters, gauges,
+// and the log-bucketed latency histograms, including the per-stage
+// pipeline breakdown and the per-peer send-queue watermarks), the same
+// registry as JSON at /metrics.json (or /metrics?format=json), /trace
+// (the recent event ring: view changes, policy join/leave decisions,
+// peer up/down, send-queue stalls), /healthz, and the standard
+// /debug/pprof/ profiling handlers.
 package main
 
 import (

@@ -147,7 +147,7 @@ func newMachine(id transport.NodeID, ep transport.Endpoint, cfg Config, basicCla
 	for _, cls := range basicClasses {
 		m.basic[cls] = true
 	}
-	m.srv = newServer(cfg, m.onUpdate, m.notifyReader)
+	m.srv = newServer(cfg, o, m.onUpdate, m.notifyReader)
 	m.node = vsync.NewNodeWith(ep, machineHandler{m: m}, o)
 	// Namespaced per machine so in-process clusters sharing one Obs keep
 	// every machine's collector registered (names replace on collision).
@@ -274,12 +274,13 @@ func (m *Machine) Report() []OpReport {
 		}
 		h := m.lat[k].Snapshot()
 		out = append(out, OpReport{
-			Kind:    k,
-			OpStats: s,
-			LatMean: h.Mean,
-			LatP50:  h.P50,
-			LatP90:  h.P90,
-			LatP99:  h.P99,
+			Kind:     k,
+			OpStats:  s,
+			LatCount: h.Count,
+			LatMean:  h.Mean,
+			LatP50:   h.P50,
+			LatP90:   h.P90,
+			LatP99:   h.P99,
 		})
 	}
 	return out

@@ -11,6 +11,7 @@ import (
 
 	"paso/internal/adaptive"
 	"paso/internal/class"
+	"paso/internal/obs"
 	"paso/internal/tuple"
 )
 
@@ -26,6 +27,9 @@ import (
 //	stats                               → OK, then the Figure-1-style
 //	                                      per-op table, one row per line,
 //	                                      terminated by a lone "." line
+//	stats -stages                       → OK, then the per-stage latency
+//	                                      table (pipeline order), same
+//	                                      "." termination
 //
 // Fields:   i:42   f:2.5   s:text   b:true
 // Matchers: the same literals (exact match), ?i ?f ?s ?b (typed
@@ -231,10 +235,15 @@ func ExecuteCommand(m *Machine, line string) string {
 		return "OK " + renderStatsLine(m.Report())
 	case "stats":
 		// Multi-line response: the table rows, then a lone "." terminator
-		// so line-oriented clients know where it ends.
+		// so line-oriented clients know where it ends. "stats -stages"
+		// renders the per-stage latency attribution table instead.
 		var sb strings.Builder
 		sb.WriteString("OK\n")
-		sb.WriteString(RenderReport(m.Report()))
+		if len(fields) > 1 && fields[1] == "-stages" {
+			sb.WriteString(RenderStages(obs.StageSnapshots(m.Obs().Reg())))
+		} else {
+			sb.WriteString(RenderReport(m.Report()))
+		}
 		sb.WriteString(".")
 		return sb.String()
 	default:

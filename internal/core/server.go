@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/binary"
 	"sync"
+	"time"
 
 	"paso/internal/class"
+	"paso/internal/obs"
 	"paso/internal/storage"
 	"paso/internal/transport"
 	"paso/internal/tuple"
@@ -30,6 +32,9 @@ type server struct {
 	onUpdate func(cls class.ID)
 	// notify wakes a remote blocked reader (marker fired). Never nil.
 	notify func(to transport.NodeID)
+	// hStageApply times the storage mutation inside Deliver (the
+	// store-apply stage of the per-stage latency attribution).
+	hStageApply *obs.Histogram
 }
 
 // classState is the replica state for one object class.
@@ -46,13 +51,14 @@ type marker struct {
 
 var _ vsync.Handler = (*server)(nil)
 
-func newServer(cfg Config, onUpdate func(class.ID), notify func(transport.NodeID)) *server {
+func newServer(cfg Config, o *obs.Obs, onUpdate func(class.ID), notify func(transport.NodeID)) *server {
 	return &server{
-		cfg:      cfg,
-		classes:  make(map[class.ID]*classState),
-		markers:  make(map[class.ID][]marker),
-		onUpdate: onUpdate,
-		notify:   notify,
+		cfg:         cfg,
+		classes:     make(map[class.ID]*classState),
+		markers:     make(map[class.ID][]marker),
+		onUpdate:    onUpdate,
+		notify:      notify,
+		hStageApply: o.Histogram(obs.StageStoreApply),
 	}
 }
 
@@ -89,6 +95,8 @@ func (s *server) Deliver(group string, origin transport.NodeID, payload []byte) 
 	if err != nil {
 		return nil, true
 	}
+	applyStart := time.Now()
+	defer func() { s.hStageApply.Observe(time.Since(applyStart).Seconds()) }()
 	switch cmd.kind {
 	case cmdStore:
 		if kind != "wg" {

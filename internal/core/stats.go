@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
+	"paso/internal/obs"
 	"paso/internal/stats"
 )
 
@@ -109,29 +111,60 @@ func (o *opMeter) snapshot() map[OpKind]OpStats {
 
 // OpReport is one row of a machine's live per-op report: the Figure 1
 // cost aggregates plus wall-clock latency (seconds) from the machine's
-// per-kind histogram.
+// per-kind histogram. LatCount is the histogram's population — zero means
+// the latency columns are meaningless and render as "—".
 type OpReport struct {
 	Kind OpKind
 	OpStats
-	LatMean float64
-	LatP50  float64
-	LatP90  float64
-	LatP99  float64
+	LatCount uint64
+	LatMean  float64
+	LatP50   float64
+	LatP90   float64
+	LatP99   float64
+}
+
+// latMs renders one latency quantile column: milliseconds, or "—" when the
+// histogram recorded nothing (a 0.00 would read as a real measurement).
+func latMs(count uint64, seconds float64) string {
+	if count == 0 {
+		return "—"
+	}
+	return stats.F(seconds * 1e3)
 }
 
 // RenderReport formats reports as the Figure-1-style per-op table: one row
 // per operation kind with counts, the three model cost measures, and the
-// observed latency quantiles in milliseconds.
+// observed latency quantiles in milliseconds. Rows are sorted by kind so
+// repeated invocations render identically.
 func RenderReport(rs []OpReport) string {
+	rs = append([]OpReport(nil), rs...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Kind < rs[j].Kind })
 	tb := stats.NewTable("stats", "per-op costs (Figure 1 measures + live latency)",
 		"op", "count", "fail", "msg-cost", "work", "time", "p50ms", "p90ms", "p99ms")
 	for _, r := range rs {
 		tb.AddRow(r.Kind.String(), stats.D(r.Count), stats.D(r.Fails),
 			stats.F(r.MsgCost), stats.F(r.Work), stats.F(r.Time),
-			stats.F(r.LatP50*1e3), stats.F(r.LatP90*1e3), stats.F(r.LatP99*1e3))
+			latMs(r.LatCount, r.LatP50), latMs(r.LatCount, r.LatP90), latMs(r.LatCount, r.LatP99))
 	}
 	if len(rs) == 0 {
 		tb.AddNote("no operations recorded yet")
+	}
+	return tb.Render()
+}
+
+// RenderStages formats the per-stage latency histograms (obs.Stage*) as a
+// table in pipeline order: one row per stage with the population and the
+// latency quantiles in milliseconds. Stages that recorded nothing render
+// "—" columns; hists is keyed by stage histogram name as produced by
+// obs.Registry.Snapshot.
+func RenderStages(hists map[string]obs.HistSnapshot) string {
+	tb := stats.NewTable("stages", "per-stage latency (pipeline order)",
+		"stage", "count", "p50ms", "p90ms", "p99ms", "p999ms")
+	for _, name := range obs.StageOrderNames {
+		h := hists[name]
+		tb.AddRow(obs.StageShort(name), stats.D(int(h.Count)),
+			latMs(h.Count, h.P50), latMs(h.Count, h.P90),
+			latMs(h.Count, h.P99), latMs(h.Count, h.P999))
 	}
 	return tb.Render()
 }

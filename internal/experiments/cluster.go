@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"paso/internal/class"
+	"paso/internal/core"
+	"paso/internal/load"
+	"paso/internal/obs"
+	"paso/internal/storage"
+	"paso/internal/transport"
+	"paso/internal/transport/tcp"
+	"paso/internal/tuple"
+)
+
+// benchCluster is a running loopback-TCP PASO cluster — the shared
+// standing for the load-plane experiments (throughput, sweep). Machines
+// share one Obs so transport and stage metrics aggregate cluster-wide.
+type benchCluster struct {
+	eps      []*tcp.Endpoint
+	machines []*core.Machine
+}
+
+// benchConfig builds the machine config every load experiment uses: one
+// "job" class of arity 3 on a hash store, λ=1 (λ=0 for single-machine
+// clusters, which cannot replicate).
+func benchConfig(machines int) core.Config {
+	cfg := core.Config{
+		Classifier: class.NewNameArity([]string{"job"}, 3),
+		Lambda:     1,
+		StoreKind:  storage.KindHash,
+	}
+	if machines < 2 {
+		cfg.Lambda = 0
+	}
+	return cfg
+}
+
+// startTCPCluster stands up n machines over loopback TCP: endpoints
+// listen, full-mesh peering, failure detectors converge, then the
+// machines start concurrently as separate pasod processes would. With
+// traceOps set, each machine records spans into its own sink (capacity
+// spanCap), matching the per-process shape of a real deployment.
+func startTCPCluster(n int, o *obs.Obs, traceOps bool, spanCap int) (*benchCluster, error) {
+	topts := tcp.Options{
+		HeartbeatInterval: 10 * time.Millisecond,
+		FailTimeout:       500 * time.Millisecond,
+		Obs:               o,
+	}
+	mcfg := benchConfig(n)
+	mcfg.Obs = o
+	basics := mcfg.Classifier.Classes()
+
+	bc := &benchCluster{eps: make([]*tcp.Endpoint, n)}
+	ok := false
+	defer func() {
+		if !ok {
+			bc.Close()
+		}
+	}()
+	for i := range bc.eps {
+		ep, err := tcp.Listen(transport.NodeID(i+1), "127.0.0.1:0", topts)
+		if err != nil {
+			return nil, err
+		}
+		bc.eps[i] = ep
+	}
+	for i, ep := range bc.eps {
+		for j, pep := range bc.eps {
+			if i != j {
+				ep.AddPeer(pep.ID(), pep.Addr())
+			}
+		}
+	}
+	// Let the failure detectors converge before joining groups.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		converged := true
+		for _, ep := range bc.eps {
+			if len(ep.Alive()) != n {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("detectors never converged")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Machines start concurrently, as separate pasod processes would.
+	bc.machines = make([]*core.Machine, n)
+	errs := make([]error, n)
+	var swg sync.WaitGroup
+	for i := range bc.machines {
+		swg.Add(1)
+		go func(i int) {
+			defer swg.Done()
+			var b []class.ID
+			if i < mcfg.Lambda+1 {
+				b = basics
+			}
+			c := mcfg
+			if traceOps {
+				// Each machine records spans into its own sink, the same
+				// shape as separate pasod processes, so overhead
+				// measurements include the real recording path.
+				c.TraceOps = true
+				c.Obs = obs.New(obs.Options{SpanCap: spanCap})
+			}
+			bc.machines[i], errs[i] = core.StartMachine(bc.eps[i], c, b, 1)
+		}(i)
+	}
+	swg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("machine %d: %w", i+1, err)
+		}
+	}
+	ok = true
+	return bc, nil
+}
+
+// Close stops the machines, then the endpoints. Safe on a partially
+// constructed cluster.
+func (bc *benchCluster) Close() {
+	for _, m := range bc.machines {
+		if m != nil {
+			m.Stop()
+		}
+	}
+	for _, ep := range bc.eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
+}
+
+// jobTemplate matches any "job" tuple — the read/take query of the
+// standard load mix.
+var jobTemplate = tuple.NewTemplate(tuple.Eq(tuple.String("job")), tuple.Any(tuple.KindInt))
+
+// preloadJobs seeds the space with n "job" tuples spread round-robin over
+// the machines so early reads hit.
+func preloadJobs(machines []*core.Machine, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := machines[i%len(machines)].Insert(
+			tuple.Make(tuple.String("job"), tuple.Int(int64(i)))); err != nil {
+			return fmt.Errorf("preload: %w", err)
+		}
+	}
+	return nil
+}
+
+// opMix builds the standard insert/read/read&del operation for the load
+// generator: worker w drives machines[w mod M] with its own seeded RNG,
+// so the mix is reproducible and workers never share RNG state.
+func opMix(machines []*core.Machine, workers int, insertFrac, readFrac float64, seed int64) load.Op {
+	rngs := make([]*rand.Rand, workers)
+	for w := range rngs {
+		rngs[w] = rand.New(rand.NewSource(seed + int64(w)))
+	}
+	return func(w int, seq int64) error {
+		r := rngs[w%len(rngs)]
+		m := machines[w%len(machines)]
+		var err error
+		switch p := r.Float64(); {
+		case p < insertFrac:
+			_, err = m.Insert(tuple.Make(tuple.String("job"), tuple.Int(seq)))
+		case p < insertFrac+readFrac:
+			_, _, err = m.Read(jobTemplate)
+		default:
+			_, _, err = m.ReadDel(jobTemplate)
+		}
+		return err
+	}
+}

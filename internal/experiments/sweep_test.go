@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"paso/internal/obs"
+)
+
+// TestRunSweepSimnet climbs a tiny two-rung ladder on the simulated LAN —
+// the same path the CI sweep-smoke job takes — and checks the curve's
+// shape: every rung measured, achieved rate positive, per-stage
+// attribution present, and the result JSON round-trips.
+func TestRunSweepSimnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rung load run; skipped in -short mode")
+	}
+	res, err := RunSweep(SweepConfig{
+		Machines:     3,
+		Workers:      8,
+		Rates:        []float64{200, 400},
+		RungDuration: 150 * time.Millisecond,
+		Preload:      64,
+		Transport:    "simnet",
+		Obs:          obs.New(obs.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rungs) != 2 {
+		t.Fatalf("rungs = %d, want 2", len(res.Rungs))
+	}
+	for i, rg := range res.Rungs {
+		if rg.Ops <= 0 || rg.Achieved <= 0 {
+			t.Errorf("rung %d: ops=%d achieved=%.1f", i, rg.Ops, rg.Achieved)
+		}
+		if rg.Fails > 0 {
+			t.Errorf("rung %d: %d failed ops", i, rg.Fails)
+		}
+		if len(rg.Stages) == 0 {
+			t.Errorf("rung %d: no stage attribution", i)
+		}
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Transport != "simnet" || len(back.Rungs) != 2 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if res.Table().Render() == "" {
+		t.Error("empty table render")
+	}
+}
+
+// TestRunSweepRejectsBadTransport pins the error path.
+func TestRunSweepRejectsBadTransport(t *testing.T) {
+	if _, err := RunSweep(SweepConfig{Transport: "carrier-pigeon",
+		Rates: []float64{100}, RungDuration: 10 * time.Millisecond}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

@@ -7,13 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"paso/internal/class"
-	"paso/internal/core"
 	"paso/internal/obs"
 	"paso/internal/stats"
-	"paso/internal/storage"
-	"paso/internal/transport"
-	"paso/internal/transport/tcp"
 	"paso/internal/tuple"
 )
 
@@ -141,102 +136,16 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	cfg = cfg.withDefaults()
 	o := cfg.Obs
 
-	topts := tcp.Options{
-		HeartbeatInterval: 10 * time.Millisecond,
-		FailTimeout:       500 * time.Millisecond,
-		Obs:               o,
+	bc, err := startTCPCluster(cfg.Machines, o, cfg.TraceOps, cfg.SpanCap)
+	if err != nil {
+		return nil, fmt.Errorf("throughput: %w", err)
 	}
-	mcfg := core.Config{
-		Classifier: class.NewNameArity([]string{"job"}, 3),
-		Lambda:     1,
-		StoreKind:  storage.KindHash,
+	defer bc.Close()
+	machines := bc.machines
+	if err := preloadJobs(machines, cfg.Preload); err != nil {
+		return nil, fmt.Errorf("throughput: %w", err)
 	}
-	if cfg.Machines < 2 {
-		mcfg.Lambda = 0
-	}
-	basics := mcfg.Classifier.Classes()
-
-	eps := make([]*tcp.Endpoint, cfg.Machines)
-	for i := range eps {
-		ep, err := tcp.Listen(transport.NodeID(i+1), "127.0.0.1:0", topts)
-		if err != nil {
-			return nil, fmt.Errorf("throughput: %w", err)
-		}
-		eps[i] = ep
-	}
-	defer func() {
-		for _, ep := range eps {
-			ep.Close()
-		}
-	}()
-	for i, ep := range eps {
-		for j, pep := range eps {
-			if i != j {
-				ep.AddPeer(pep.ID(), pep.Addr())
-			}
-		}
-	}
-	// Let the failure detectors converge before joining groups.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		converged := true
-		for _, ep := range eps {
-			if len(ep.Alive()) != cfg.Machines {
-				converged = false
-				break
-			}
-		}
-		if converged {
-			break
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("throughput: detectors never converged")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-
-	// Machines start concurrently, as separate pasod processes would.
-	machines := make([]*core.Machine, cfg.Machines)
-	errs := make([]error, cfg.Machines)
-	var swg sync.WaitGroup
-	for i := range machines {
-		swg.Add(1)
-		go func(i int) {
-			defer swg.Done()
-			var b []class.ID
-			if i < mcfg.Lambda+1 {
-				b = basics
-			}
-			c := mcfg
-			if cfg.TraceOps {
-				// Each machine records spans into its own sink, the same
-				// shape as separate pasod processes, so the overhead
-				// measurement includes the real recording path.
-				c.TraceOps = true
-				c.Obs = obs.New(obs.Options{SpanCap: cfg.SpanCap})
-			}
-			machines[i], errs[i] = core.StartMachine(eps[i], c, b, 1)
-		}(i)
-	}
-	swg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("throughput: machine %d: %w", i+1, err)
-		}
-	}
-	defer func() {
-		for _, m := range machines {
-			m.Stop()
-		}
-	}()
-
-	tpl := tuple.NewTemplate(tuple.Eq(tuple.String("job")), tuple.Any(tuple.KindInt))
-	for i := 0; i < cfg.Preload; i++ {
-		if _, err := machines[i%len(machines)].Insert(
-			tuple.Make(tuple.String("job"), tuple.Int(int64(i)))); err != nil {
-			return nil, fmt.Errorf("throughput: preload: %w", err)
-		}
-	}
+	tpl := jobTemplate
 
 	hAll := o.Histogram("bench.op.latency.seconds")
 	hKind := map[string]*obs.Histogram{

@@ -29,6 +29,7 @@ var documented = []string{
 	"../faults",
 	"../obs",
 	"../cost",
+	"../load",
 }
 
 func TestExportedDocs(t *testing.T) {

@@ -1,0 +1,353 @@
+// Package load implements an open-loop load generator with deterministic
+// arrival times and coordinated-omission-safe latency measurement.
+//
+// A closed-loop generator (worker issues, waits, issues again) silently
+// stops offering load the moment the system stalls: every request issued
+// *after* a stall never observes it, so tail quantiles read absurdly low —
+// the coordinated-omission trap. This generator instead fixes the arrival
+// schedule up front: arrival k is *intended* to start at start + k/rate
+// regardless of how the system behaves, and its latency is measured from
+// that intended start. A stalled system makes later arrivals start late,
+// and the backlog they inherit is charged to their latency — exactly what
+// a real open client population would experience.
+//
+// Run drives one rung at a fixed offered rate; Sweep climbs a rate ladder
+// and reports the latency-vs-offered-load curve, the knee (the highest
+// rung the system still sustains), and — when given a per-stage snapshot
+// source — the pipeline stage whose latency grows fastest toward
+// saturation.
+package load
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paso/internal/obs"
+)
+
+// Op issues one operation. worker identifies the issuing worker goroutine
+// (stable across the run, 0-based) and seq the global arrival index; a
+// non-nil error counts the arrival as failed. Ops must be safe for
+// concurrent use across workers.
+type Op func(worker int, seq int64) error
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Rate is the offered arrival rate in operations per second. Must be
+	// positive.
+	Rate float64
+	// Duration is the span of the arrival schedule: floor(Rate×Duration)
+	// arrivals are scheduled. The run itself can take longer when the
+	// system cannot keep up — Result.Elapsed reports the actual span.
+	Duration time.Duration
+	// Workers is the number of issuing goroutines; arrival k is issued by
+	// worker k mod Workers. Defaults to 64. If every worker is busy when
+	// an arrival comes due, the arrival starts late and the wait is
+	// charged to its latency (open-loop semantics survive a slow target,
+	// though a Workers ceiling well below Rate×latency makes the
+	// generator itself the queue).
+	Workers int
+}
+
+// Lat summarizes the coordinated-omission-safe latency distribution of a
+// run, in seconds (measured from intended start, not issue time).
+type Lat struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+func latFromSnapshot(s obs.HistSnapshot) Lat {
+	return Lat{Count: s.Count, Mean: s.Mean, Min: s.Min, Max: s.Max,
+		P50: s.P50, P90: s.P90, P99: s.P99, P999: s.P999}
+}
+
+// Result reports one open-loop run.
+type Result struct {
+	// Offered is the configured arrival rate (ops/sec).
+	Offered float64 `json:"offered"`
+	// Achieved is completed arrivals divided by the actual elapsed time;
+	// under saturation it falls below Offered because the run overshoots
+	// its scheduled duration working off backlog.
+	Achieved float64 `json:"achieved"`
+	// Ops counts completed arrivals (including failed ones), Fails the
+	// arrivals whose Op returned an error.
+	Ops   int64 `json:"ops"`
+	Fails int64 `json:"fails"`
+	// Elapsed is the actual wall-clock span from first intended arrival
+	// to last completion.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Lat is the latency distribution measured from intended starts.
+	Lat Lat `json:"lat"`
+}
+
+// Run executes one open-loop rung: it schedules floor(Rate×Duration)
+// arrivals at fixed offsets, issues each on its assigned worker no earlier
+// than its intended start, and measures every latency from that intended
+// start. It returns an error only for invalid configuration; op errors are
+// counted in Result.Fails.
+func Run(cfg Config, op Op) (Result, error) {
+	if cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("load: non-positive rate %v", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("load: non-positive duration %v", cfg.Duration)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	total := int64(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	if int64(workers) > total {
+		workers = int(total)
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+
+	hist := obs.NewHistogram()
+	var fails atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := int64(w); k < total; k += int64(workers) {
+				intended := start.Add(time.Duration(k) * interval)
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				if err := op(w, k); err != nil {
+					fails.Add(1)
+				}
+				// Latency from *intended* start: a late-issued arrival
+				// (worker or system backlog) is charged its full wait.
+				hist.Observe(time.Since(intended).Seconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Offered: cfg.Rate,
+		Ops:     total,
+		Fails:   fails.Load(),
+		Elapsed: elapsed,
+		Lat:     latFromSnapshot(hist.Snapshot()),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.Achieved = float64(total) / s
+	}
+	return res, nil
+}
+
+// StageLat is one pipeline stage's latency contribution during a rung,
+// derived from registry snapshot deltas (obs.Delta).
+type StageLat struct {
+	// Stage is the compact stage label (obs.StageShort).
+	Stage string `json:"stage"`
+	// Count is the number of stage observations during the rung.
+	Count uint64 `json:"count"`
+	// MeanMs/P50Ms/P99Ms summarize the stage latency in milliseconds.
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Rung is one point of the latency-vs-offered-load curve.
+type Rung struct {
+	Offered  float64       `json:"offered"`
+	Achieved float64       `json:"achieved"`
+	Ops      int64         `json:"ops"`
+	Fails    int64         `json:"fails"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	// Latency quantiles in milliseconds, coordinated-omission-safe.
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// Stages attributes the rung's latency to pipeline stages, in
+	// pipeline order (absent when the sweep has no snapshot source).
+	Stages []StageLat `json:"stages,omitempty"`
+}
+
+// SweepConfig parameterizes a rate-ladder sweep.
+type SweepConfig struct {
+	// Rates is the ladder of offered rates (ops/sec), swept in order.
+	Rates []float64
+	// RungDuration is the scheduled duration of each rung.
+	RungDuration time.Duration
+	// Workers is per-rung worker count (see Config.Workers).
+	Workers int
+	// Stages, when non-nil, samples the per-stage latency histograms
+	// (obs.StageSnapshots) before and after each rung; the deltas become
+	// the rung's stage breakdown and feed saturating-stage detection.
+	Stages func() map[string]obs.HistSnapshot
+	// KneeFrac is the sustained-rate threshold: the knee is the highest
+	// rung with Achieved ≥ KneeFrac×Offered. Defaults to 0.95.
+	KneeFrac float64
+	// Settle is an idle pause between rungs, letting queues drain so one
+	// rung's backlog does not pollute the next rung's measurements.
+	// Defaults to 500ms.
+	Settle time.Duration
+}
+
+// SweepResult is the full latency-vs-offered-load curve.
+type SweepResult struct {
+	Rungs []Rung `json:"rungs"`
+	// KneeRate is the highest offered rate the system sustained (achieved
+	// ≥ KneeFrac of offered), or 0 when no rung qualified.
+	KneeRate float64 `json:"knee_rate"`
+	// SaturatingStage names the pipeline stage whose mean latency grew by
+	// the largest factor from the first to the last rung — the stage the
+	// curve points at. Empty without a Stages source.
+	SaturatingStage string `json:"saturating_stage,omitempty"`
+}
+
+// Sweep runs one rung per rate in cfg.Rates and assembles the curve.
+func Sweep(cfg SweepConfig, op Op) (SweepResult, error) {
+	if len(cfg.Rates) == 0 {
+		return SweepResult{}, fmt.Errorf("load: empty rate ladder")
+	}
+	kneeFrac := cfg.KneeFrac
+	if kneeFrac <= 0 {
+		kneeFrac = 0.95
+	}
+	settle := cfg.Settle
+	if settle <= 0 {
+		settle = 500 * time.Millisecond
+	}
+	var out SweepResult
+	for i, rate := range cfg.Rates {
+		if i > 0 {
+			time.Sleep(settle)
+		}
+		var before map[string]obs.HistSnapshot
+		if cfg.Stages != nil {
+			before = cfg.Stages()
+		}
+		res, err := Run(Config{Rate: rate, Duration: cfg.RungDuration, Workers: cfg.Workers}, op)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		rung := Rung{
+			Offered:  res.Offered,
+			Achieved: res.Achieved,
+			Ops:      res.Ops,
+			Fails:    res.Fails,
+			Elapsed:  res.Elapsed,
+			P50Ms:    res.Lat.P50 * 1e3,
+			P90Ms:    res.Lat.P90 * 1e3,
+			P99Ms:    res.Lat.P99 * 1e3,
+			P999Ms:   res.Lat.P999 * 1e3,
+			MeanMs:   res.Lat.Mean * 1e3,
+		}
+		if cfg.Stages != nil {
+			rung.Stages = stageDeltas(before, cfg.Stages())
+		}
+		out.Rungs = append(out.Rungs, rung)
+		if res.Achieved >= kneeFrac*res.Offered && res.Offered > out.KneeRate {
+			out.KneeRate = res.Offered
+		}
+	}
+	out.SaturatingStage = saturatingStage(out.Rungs)
+	return out, nil
+}
+
+// stageDeltas diffs two stage snapshot maps into per-stage rung latencies,
+// in pipeline order.
+func stageDeltas(before, after map[string]obs.HistSnapshot) []StageLat {
+	out := make([]StageLat, 0, len(obs.StageOrderNames))
+	for _, name := range obs.StageOrderNames {
+		d := obs.Delta(after[name], before[name])
+		if d.Count == 0 {
+			continue
+		}
+		out = append(out, StageLat{
+			Stage:  obs.StageShort(name),
+			Count:  d.Count,
+			MeanMs: d.Mean * 1e3,
+			P50Ms:  d.P50 * 1e3,
+			P99Ms:  d.P99 * 1e3,
+		})
+	}
+	return out
+}
+
+// saturatingStage picks the stage whose mean latency grew by the largest
+// factor between the first and last rung that carry stage data. Stages
+// that never exceed one microsecond at the last rung are noise and are
+// skipped; when no stage qualifies by growth, the stage with the largest
+// last-rung mean wins. Ties resolve to the earliest pipeline stage.
+func saturatingStage(rungs []Rung) string {
+	var first, last []StageLat
+	for _, r := range rungs {
+		if len(r.Stages) == 0 {
+			continue
+		}
+		if first == nil {
+			first = r.Stages
+		}
+		last = r.Stages
+	}
+	if first == nil || len(rungs) < 2 {
+		return ""
+	}
+	firstMean := make(map[string]float64, len(first))
+	for _, s := range first {
+		firstMean[s.Stage] = s.MeanMs
+	}
+	const floorMs = 1e-3 // 1µs: below this a stage cannot be the bottleneck
+	bestStage, bestGrowth := "", 0.0
+	maxStage, maxMean := "", 0.0
+	// last is already in pipeline order, so first-seen wins ties.
+	for _, s := range last {
+		if s.MeanMs > maxMean {
+			maxStage, maxMean = s.Stage, s.MeanMs
+		}
+		if s.MeanMs < floorMs {
+			continue
+		}
+		base := firstMean[s.Stage]
+		if base <= 0 {
+			base = floorMs
+		}
+		if g := s.MeanMs / base; g > bestGrowth {
+			bestStage, bestGrowth = s.Stage, g
+		}
+	}
+	if bestStage == "" {
+		return maxStage
+	}
+	return bestStage
+}
+
+// Ladder builds a geometric rate ladder from lo to hi (inclusive-ish) with
+// the given number of rungs — the usual shape for a saturation sweep,
+// where interesting behavior spans octaves rather than linear steps.
+func Ladder(lo, hi float64, rungs int) []float64 {
+	if rungs < 2 || lo <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, rungs)
+	ratio := hi / lo
+	for i := range out {
+		exp := float64(i) / float64(rungs-1)
+		out[i] = lo * math.Pow(ratio, exp)
+	}
+	sort.Float64s(out)
+	return out
+}

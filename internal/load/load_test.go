@@ -1,0 +1,165 @@
+package load
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paso/internal/obs"
+)
+
+func TestRunSchedulesAllArrivals(t *testing.T) {
+	var ops atomic.Int64
+	res, err := Run(Config{Rate: 2000, Duration: 100 * time.Millisecond, Workers: 8},
+		func(_ int, _ int64) error { ops.Add(1); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 200 || ops.Load() != 200 {
+		t.Errorf("ops = %d (issued %d), want 200", res.Ops, ops.Load())
+	}
+	if res.Fails != 0 {
+		t.Errorf("fails = %d", res.Fails)
+	}
+	if res.Lat.Count != 200 {
+		t.Errorf("latency count = %d, want 200", res.Lat.Count)
+	}
+	// A no-op target keeps up: achieved should be near offered.
+	if res.Achieved < 0.8*res.Offered {
+		t.Errorf("achieved %.0f far below offered %.0f on a no-op target", res.Achieved, res.Offered)
+	}
+}
+
+func TestRunCountsFails(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := Run(Config{Rate: 1000, Duration: 50 * time.Millisecond, Workers: 4},
+		func(_ int, seq int64) error {
+			if seq%2 == 0 {
+				return boom
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fails != res.Ops/2 {
+		t.Errorf("fails = %d of %d, want half", res.Fails, res.Ops)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Rate: 0, Duration: time.Second}, func(int, int64) error { return nil }); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(Config{Rate: 100, Duration: 0}, func(int, int64) error { return nil }); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+// TestRunCoordinatedOmissionSafe overloads a deliberately slow target: one
+// worker, 5ms per op, capacity 200/s, offered 800/s. A closed-loop
+// generator would report ~5ms latencies; the open-loop schedule must
+// charge the backlog to later arrivals, pushing the mean far above the
+// service time and the achieved rate down to capacity.
+func TestRunCoordinatedOmissionSafe(t *testing.T) {
+	res, err := Run(Config{Rate: 800, Duration: 200 * time.Millisecond, Workers: 1},
+		func(_ int, _ int64) error { time.Sleep(5 * time.Millisecond); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Achieved > 0.6*res.Offered {
+		t.Errorf("achieved %.0f should collapse well below offered %.0f", res.Achieved, res.Offered)
+	}
+	// Service time is 5ms; queueing should push the CO-safe mean well past
+	// it (the last arrival waits ~ (N/capacity - duration) ≈ 600ms).
+	if res.Lat.Mean < 0.020 {
+		t.Errorf("mean latency %.4fs too low — backlog not charged (coordinated omission)", res.Lat.Mean)
+	}
+	if res.Lat.Max < res.Lat.Mean {
+		t.Errorf("max %.4f < mean %.4f", res.Lat.Max, res.Lat.Mean)
+	}
+}
+
+func TestSweepKneeAndSaturatingStage(t *testing.T) {
+	// Synthetic stage source: stage.order's histogram grows hotter as the
+	// sweep proceeds; stage.encode stays flat and tiny.
+	encode := obs.NewHistogram()
+	order := obs.NewHistogram()
+	// Stages runs before and after every rung; counting its calls tells
+	// the op which rung it is in (before rung 1 → 1 call, before rung 2 →
+	// 3 calls) without threading state through Sweep.
+	var stageCalls atomic.Int64
+	stages := func() map[string]obs.HistSnapshot {
+		stageCalls.Add(1)
+		return map[string]obs.HistSnapshot{
+			obs.StageEncode: encode.Snapshot(),
+			obs.StageOrder:  order.Snapshot(),
+		}
+	}
+	// The op feeds the synthetic histograms: order latency grows across
+	// rungs (0.1ms, then 3ms), encode stays at 2µs.
+	op := func(_ int, _ int64) error {
+		encode.Observe(2e-6)
+		if stageCalls.Load() < 3 {
+			order.Observe(1e-4)
+		} else {
+			order.Observe(3e-3)
+			time.Sleep(3 * time.Millisecond) // second rung cannot sustain offered rate
+		}
+		return nil
+	}
+	res, err := Sweep(SweepConfig{
+		Rates:        []float64{200, 2000},
+		RungDuration: 100 * time.Millisecond,
+		Workers:      2,
+		Stages:       stages,
+		Settle:       time.Millisecond,
+	}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rungs) != 2 {
+		t.Fatalf("rungs = %d", len(res.Rungs))
+	}
+	// Rung 1: trivial op at 200/s sustains; rung 2: 3ms op × 2 workers
+	// caps at ~666/s against 2000 offered.
+	if res.KneeRate != 200 {
+		t.Errorf("knee = %v, want 200", res.KneeRate)
+	}
+	if res.Rungs[1].Achieved > 0.9*res.Rungs[1].Offered {
+		t.Errorf("rung 2 achieved %.0f should fall below offered %.0f",
+			res.Rungs[1].Achieved, res.Rungs[1].Offered)
+	}
+	if res.SaturatingStage != "order" {
+		t.Errorf("saturating stage = %q, want order", res.SaturatingStage)
+	}
+	// Stage deltas carry only the rung's own observations.
+	for i, r := range res.Rungs {
+		var total uint64
+		for _, s := range r.Stages {
+			total += s.Count
+		}
+		if total == 0 {
+			t.Errorf("rung %d has empty stage breakdown", i)
+		}
+	}
+}
+
+func TestLadder(t *testing.T) {
+	l := Ladder(1000, 16000, 5)
+	if len(l) != 5 {
+		t.Fatalf("rungs = %d", len(l))
+	}
+	if l[0] != 1000 || l[4] < 15999 || l[4] > 16001 {
+		t.Errorf("endpoints = %v .. %v", l[0], l[4])
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i] <= l[i-1] {
+			t.Errorf("ladder not increasing at %d: %v", i, l)
+		}
+	}
+	if got := Ladder(500, 0, 3); len(got) != 1 || got[0] != 500 {
+		t.Errorf("degenerate ladder = %v", got)
+	}
+}

@@ -7,14 +7,17 @@ import (
 
 // Histogram bucket geometry: bucket 0 catches observations ≤ histMinBound
 // (including zero and negatives); bucket i > 0 covers
-// (histMinBound·r^(i-1), histMinBound·r^i] with growth ratio r = 2^(1/4).
-// 256 buckets span 1e-9 .. ~1.8e10, wide enough for latencies in seconds
-// and payload sizes in bytes, with ≤ ~19% worst-case quantile error from
-// bucket width alone (interpolation inside the bucket does better on
-// smooth samples).
+// (histMinBound·r^(i-1), histMinBound·r^i] with growth ratio r = 2^(1/16).
+// 1024 buckets span 1e-9 .. ~1.8e10, wide enough for latencies in seconds
+// and payload sizes in bytes. The bucket width bounds relative quantile
+// error by r−1 ≈ 4.4% — under the 5% budget the sweep plane promises —
+// and interpolation inside the bucket does better on smooth samples.
 const (
-	histBuckets  = 256
+	histBuckets  = 1024
 	histMinBound = 1e-9
+	// histBucketsPerOctave is the number of buckets per factor-of-two of
+	// value range: growth ratio r = 2^(1/histBucketsPerOctave).
+	histBucketsPerOctave = 16
 )
 
 // bucketUpper returns the upper bound of bucket i.
@@ -22,7 +25,7 @@ func bucketUpper(i int) float64 {
 	if i <= 0 {
 		return histMinBound
 	}
-	return histMinBound * math.Pow(2, float64(i)/4)
+	return histMinBound * math.Pow(2, float64(i)/histBucketsPerOctave)
 }
 
 // bucketIndex maps an observation to its bucket.
@@ -30,9 +33,8 @@ func bucketIndex(v float64) int {
 	if v <= histMinBound || math.IsNaN(v) {
 		return 0
 	}
-	// log_r(v/min) = ln(v/min)·log2(e)/4... with r = 2^(1/4):
-	// idx = ceil(log2(v/min)·4).
-	idx := int(math.Ceil(math.Log2(v/histMinBound) * 4))
+	// With r = 2^(1/16): idx = ceil(log2(v/min)·16).
+	idx := int(math.Ceil(math.Log2(v/histMinBound) * histBucketsPerOctave))
 	if idx < 1 {
 		idx = 1
 	}
@@ -61,6 +63,12 @@ func newHistogram() *Histogram {
 	return h
 }
 
+// NewHistogram returns a standalone histogram, not registered in any
+// registry — for callers that aggregate measurements outside the metrics
+// plane (the open-loop load generator records coordinated-omission-safe
+// latencies into one of these per run).
+func NewHistogram() *Histogram { return newHistogram() }
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	h.counts[bucketIndex(v)].Add(1)
@@ -73,16 +81,51 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
-// HistSnapshot summarizes a histogram at one instant.
-type HistSnapshot struct {
+// Merge folds every observation recorded in src into h. Both histograms
+// share the same fixed geometry, so the merge is a per-bucket add; it is
+// safe under concurrent Observe on either side, and associative and
+// commutative up to the usual floating-point reassociation of Sum.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil || src == h {
+		return
+	}
+	for i := range src.counts {
+		if c := src.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	if c := src.count.Load(); c > 0 {
+		h.count.Add(c)
+		h.sum.add(src.sum.load())
+		h.min.storeMin(src.min.load())
+		h.max.storeMax(src.max.load())
+	}
+}
+
+// BucketCount reports the population of one non-empty histogram bucket.
+// Upper is the bucket's inclusive upper bound; the lower bound is the
+// Upper of the previous bucket index (histMinBound for bucket 1, and
+// bucket 0 collects everything at or below histMinBound).
+type BucketCount struct {
+	Index int     `json:"index"`
+	Upper float64 `json:"upper"`
 	Count uint64  `json:"count"`
-	Sum   float64 `json:"sum"`
-	Mean  float64 `json:"mean"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+}
+
+// HistSnapshot summarizes a histogram at one instant. Buckets carries the
+// non-empty buckets so snapshots can be diffed (see Delta) and exported
+// in Prometheus histogram exposition without loss.
+type HistSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Mean    float64       `json:"mean"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	P999    float64       `json:"p999"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Snapshot computes the summary, including interpolated quantiles.
@@ -103,6 +146,65 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	s.P50 = quantileFromBuckets(counts[:], total, 0.50, s.Min, s.Max)
 	s.P90 = quantileFromBuckets(counts[:], total, 0.90, s.Min, s.Max)
 	s.P99 = quantileFromBuckets(counts[:], total, 0.99, s.Min, s.Max)
+	s.P999 = quantileFromBuckets(counts[:], total, 0.999, s.Min, s.Max)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Index: i, Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Delta computes the distribution of observations recorded between prev
+// and cur, two snapshots of the SAME histogram with prev taken earlier.
+// Quantiles are re-derived from the bucket-count differences; Min and Max
+// are bucket bounds (the exact extremes of the interval are not tracked),
+// so they carry the same ≤ r−1 relative error as the quantiles.
+func Delta(cur, prev HistSnapshot) HistSnapshot {
+	var counts [histBuckets]uint64
+	for _, b := range cur.Buckets {
+		if b.Index >= 0 && b.Index < histBuckets {
+			counts[b.Index] = b.Count
+		}
+	}
+	for _, b := range prev.Buckets {
+		if b.Index >= 0 && b.Index < histBuckets && counts[b.Index] >= b.Count {
+			counts[b.Index] -= b.Count
+		}
+	}
+	var total uint64
+	lo, hi := -1, -1
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		total += c
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+	}
+	s := HistSnapshot{Count: total, Sum: cur.Sum - prev.Sum}
+	if total == 0 {
+		s.Sum = 0
+		return s
+	}
+	s.Mean = s.Sum / float64(total)
+	if lo == 0 {
+		s.Min = 0
+	} else {
+		s.Min = bucketUpper(lo - 1)
+	}
+	s.Max = bucketUpper(hi)
+	s.P50 = quantileFromBuckets(counts[:], total, 0.50, s.Min, s.Max)
+	s.P90 = quantileFromBuckets(counts[:], total, 0.90, s.Min, s.Max)
+	s.P99 = quantileFromBuckets(counts[:], total, 0.99, s.Min, s.Max)
+	s.P999 = quantileFromBuckets(counts[:], total, 0.999, s.Min, s.Max)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Index: i, Upper: bucketUpper(i), Count: c})
+		}
+	}
 	return s
 }
 

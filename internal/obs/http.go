@@ -15,9 +15,11 @@ import (
 
 // Handler returns the debug mux:
 //
-//	/metrics        registry + collector metrics; JSON by default,
-//	                Prometheus text with ?format=prometheus (or an Accept
-//	                header preferring text/plain)
+//	/metrics        registry + collector metrics in Prometheus text
+//	                exposition format (histograms as cumulative le-bucket
+//	                series); ?format=json still returns the JSON shape
+//	/metrics.json   the same metrics as JSON (counters, gauges, histogram
+//	                snapshots with quantiles and non-empty buckets)
 //	/trace          the recent event ring as JSON (?n= limits, ?kind= filters)
 //	/trace/ops      recent traced operations (root spans); with ?id=<hex
 //	                trace ID> the trace's local spans plus the assembled
@@ -27,6 +29,7 @@ import (
 func (o *Obs) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", o.handleMetrics)
+	mux.HandleFunc("/metrics.json", o.handleMetricsJSON)
 	mux.HandleFunc("/trace", o.handleTrace)
 	mux.HandleFunc("/trace/ops", o.handleTraceOps)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -74,13 +77,19 @@ type metricsPayload struct {
 }
 
 func (o *Obs) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := o.sh.reg.Snapshot()
-	derived := o.Collect()
-	if wantsPrometheus(r) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writePrometheus(w, snap, derived)
+	if wantsJSON(r) {
+		o.handleMetricsJSON(w, r)
 		return
 	}
+	snap := o.sh.reg.Snapshot()
+	derived := o.Collect()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writePrometheus(w, snap, derived)
+}
+
+func (o *Obs) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	snap := o.sh.reg.Snapshot()
+	derived := o.Collect()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -92,19 +101,22 @@ func (o *Obs) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func wantsPrometheus(r *http.Request) bool {
+func wantsJSON(r *http.Request) bool {
 	switch r.URL.Query().Get("format") {
 	case "prom", "prometheus", "text":
-		return true
-	case "json":
 		return false
+	case "json":
+		return true
 	}
 	accept := r.Header.Get("Accept")
-	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+	return strings.Contains(accept, "application/json")
 }
 
 // writePrometheus renders the exposition text format. Histograms are
-// rendered as summaries (quantile series plus _sum and _count).
+// rendered as native Prometheus histograms: a cumulative `le` bucket
+// series over the non-empty log buckets plus the mandatory `+Inf` bucket,
+// `_sum`, and `_count` — lossless with respect to the registry snapshot,
+// so a scraper (or a test) can reconstruct every bucket count exactly.
 func writePrometheus(w http.ResponseWriter, snap RegistrySnapshot, derived map[string]float64) {
 	for _, name := range sortedKeys(snap.Counters) {
 		pn := promName(name)
@@ -117,10 +129,13 @@ func writePrometheus(w http.ResponseWriter, snap RegistrySnapshot, derived map[s
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
 		pn := promName(name)
-		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
-		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", pn, promFloat(h.P50))
-		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", pn, promFloat(h.P90))
-		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", pn, promFloat(h.P99))
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, promFloat(b.Upper), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
 		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
 		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
 	}

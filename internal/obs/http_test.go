@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -27,36 +29,42 @@ func testObs(t *testing.T) *Obs {
 
 func TestMetricsJSON(t *testing.T) {
 	o := testObs(t)
-	rec := httptest.NewRecorder()
-	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status = %d", rec.Code)
-	}
-	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
-		t.Errorf("content-type = %q", ct)
-	}
-	var got metricsPayload
-	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
-		t.Fatalf("bad JSON: %v", err)
-	}
-	if got.Counters["transport.msgs.sent"] != 42 {
-		t.Errorf("counter = %d", got.Counters["transport.msgs.sent"])
-	}
-	if got.Gauges["transport.peers.up"] != 3 {
-		t.Errorf("gauge = %d", got.Gauges["transport.peers.up"])
-	}
-	h := got.Histograms["core.op.insert.latency.seconds"]
-	if h.Count != 100 || h.P50 <= 0 || h.P99 < h.P50 {
-		t.Errorf("histogram = %+v", h)
-	}
-	if got.Derived["core.op.insert.count"] != 100 {
-		t.Errorf("derived = %v", got.Derived)
+	for _, url := range []string{"/metrics.json", "/metrics?format=json"} {
+		rec := httptest.NewRecorder()
+		o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d", url, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Errorf("%s: content-type = %q", url, ct)
+		}
+		var got metricsPayload
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("%s: bad JSON: %v", url, err)
+		}
+		if got.Counters["transport.msgs.sent"] != 42 {
+			t.Errorf("%s: counter = %d", url, got.Counters["transport.msgs.sent"])
+		}
+		if got.Gauges["transport.peers.up"] != 3 {
+			t.Errorf("%s: gauge = %d", url, got.Gauges["transport.peers.up"])
+		}
+		h := got.Histograms["core.op.insert.latency.seconds"]
+		if h.Count != 100 || h.P50 <= 0 || h.P99 < h.P50 || h.P999 < h.P99 {
+			t.Errorf("%s: histogram = %+v", url, h)
+		}
+		if len(h.Buckets) == 0 {
+			t.Errorf("%s: histogram snapshot has no buckets", url)
+		}
+		if got.Derived["core.op.insert.count"] != 100 {
+			t.Errorf("%s: derived = %v", url, got.Derived)
+		}
 	}
 }
 
 func TestMetricsPrometheus(t *testing.T) {
 	o := testObs(t)
 	for _, req := range []*http.Request{
+		httptest.NewRequest("GET", "/metrics", nil),
 		httptest.NewRequest("GET", "/metrics?format=prometheus", nil),
 		func() *http.Request {
 			r := httptest.NewRequest("GET", "/metrics", nil)
@@ -75,8 +83,8 @@ func TestMetricsPrometheus(t *testing.T) {
 			"transport_msgs_sent 42",
 			"# TYPE transport_peers_up gauge",
 			"transport_peers_up 3",
-			"# TYPE core_op_insert_latency_seconds summary",
-			`core_op_insert_latency_seconds{quantile="0.5"}`,
+			"# TYPE core_op_insert_latency_seconds histogram",
+			`core_op_insert_latency_seconds_bucket{le="+Inf"} 100`,
 			"core_op_insert_latency_seconds_count 100",
 			"# TYPE core_op_insert_count gauge",
 		} {
@@ -84,6 +92,127 @@ func TestMetricsPrometheus(t *testing.T) {
 				t.Errorf("prometheus output missing %q\n%s", want, body)
 			}
 		}
+	}
+}
+
+// parsePromHistogram extracts one histogram's cumulative buckets, sum, and
+// count from exposition text the way a scraper would.
+func parsePromHistogram(t *testing.T, text, name string) (les []float64, cums []uint64, sum float64, count uint64) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{le=\""):
+			rest := strings.TrimPrefix(line, name+"_bucket{le=\"")
+			i := strings.Index(rest, "\"}")
+			if i < 0 {
+				t.Fatalf("malformed bucket line %q", line)
+			}
+			leStr, cntStr := rest[:i], strings.TrimSpace(rest[i+2:])
+			c, err := strconv.ParseUint(cntStr, 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket count in %q: %v", line, err)
+			}
+			if leStr == "+Inf" {
+				les = append(les, 0) // marker; +Inf checked via count below
+				cums = append(cums, c)
+				continue
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le in %q: %v", line, err)
+			}
+			les = append(les, le)
+			cums = append(cums, c)
+		case strings.HasPrefix(line, name+"_sum "):
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+"_sum "), 64)
+			if err != nil {
+				t.Fatalf("bad sum line %q: %v", line, err)
+			}
+			sum = v
+		case strings.HasPrefix(line, name+"_count "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, name+"_count "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	return les, cums, sum, count
+}
+
+// TestMetricsPrometheusLossless scrapes /metrics and reconstructs the
+// histogram's per-bucket counts from the cumulative le series; they must
+// match the registry snapshot exactly — the exposition loses nothing.
+func TestMetricsPrometheusLossless(t *testing.T) {
+	o := testObs(t)
+	snap := o.sh.reg.Snapshot()
+	want := snap.Histograms["core.op.insert.latency.seconds"]
+
+	rec := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	les, cums, sum, count := parsePromHistogram(t, rec.Body.String(), "core_op_insert_latency_seconds")
+
+	if count != want.Count {
+		t.Fatalf("scraped count = %d, want %d", count, want.Count)
+	}
+	if sum != want.Sum {
+		t.Errorf("scraped sum = %v, want %v (must round-trip exactly)", sum, want.Sum)
+	}
+	// The last series is +Inf; the finite ones must match the snapshot's
+	// non-empty buckets one-for-one after de-cumulating.
+	if len(les) != len(want.Buckets)+1 {
+		t.Fatalf("scraped %d bucket series, want %d non-empty + Inf", len(les), len(want.Buckets))
+	}
+	if cums[len(cums)-1] != want.Count {
+		t.Errorf("+Inf bucket = %d, want total %d", cums[len(cums)-1], want.Count)
+	}
+	var prev uint64
+	for i, b := range want.Buckets {
+		if les[i] != b.Upper {
+			t.Errorf("bucket %d: le = %v, want upper %v (must round-trip exactly)", i, les[i], b.Upper)
+		}
+		if got := cums[i] - prev; got != b.Count {
+			t.Errorf("bucket %d: de-cumulated count = %d, want %d", i, got, b.Count)
+		}
+		prev = cums[i]
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition text for a small fixed
+// registry, so any accidental format change (ordering, label quoting,
+// float rendering) fails loudly.
+func TestPrometheusGolden(t *testing.T) {
+	o := New(Options{})
+	o.Counter("a.count").Add(7)
+	o.Gauge("b.depth").Set(-2)
+	h := o.Histogram("c.latency.seconds")
+	h.Observe(1e-10) // bucket 0 (≤ min bound)
+	h.Observe(1.0)
+	h.Observe(1.0)
+
+	rec := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	// 1.0 lands in the bucket whose upper bound is the first power of
+	// 2^(1/16) at or above 1/1e-9.
+	up := bucketUpper(bucketIndex(1.0))
+	want := strings.Join([]string{
+		"# TYPE a_count counter",
+		"a_count 7",
+		"# TYPE b_depth gauge",
+		"b_depth -2",
+		"# TYPE c_latency_seconds histogram",
+		`c_latency_seconds_bucket{le="1e-09"} 1`,
+		`c_latency_seconds_bucket{le="` + promFloat(up) + `"} 3`,
+		`c_latency_seconds_bucket{le="+Inf"} 3`,
+		"c_latency_seconds_sum 2.0000000001",
+		"c_latency_seconds_count 3",
+		"",
+	}, "\n")
+	if got := rec.Body.String(); got != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 
@@ -158,7 +287,7 @@ func TestServeDebug(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	resp, err := http.Get("http://" + d.Addr() + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+
+	"paso/internal/obs"
+)
 
 // Mailbox is an unbounded FIFO queue bridging asynchronous senders to a
 // channel-based receiver. Network semantics require sends to never block on
@@ -14,6 +18,35 @@ type Mailbox struct {
 	out    chan Item
 	stop   chan struct{}
 	done   chan struct{}
+
+	// Backpressure watermarks (nil until Instrument): because the queue is
+	// unbounded, its depth is the one place inbound overload shows up.
+	gDepth *obs.Gauge
+	gHwm   *obs.Gauge
+	hwm    int
+}
+
+// Instrument attaches depth and high-watermark gauges to the mailbox; every
+// Put and pump step keeps them current. Pass nil gauges to detach.
+func (m *Mailbox) Instrument(depth, hwm *obs.Gauge) {
+	m.mu.Lock()
+	m.gDepth, m.gHwm = depth, hwm
+	m.mu.Unlock()
+}
+
+// noteDepth publishes the current depth; callers hold m.mu.
+func (m *Mailbox) noteDepth() {
+	if m.gDepth == nil {
+		return
+	}
+	d := len(m.queue)
+	m.gDepth.Set(int64(d))
+	if d > m.hwm {
+		m.hwm = d
+		if m.gHwm != nil {
+			m.gHwm.Set(int64(d))
+		}
+	}
 }
 
 // NewMailbox creates a mailbox and starts its pump goroutine. Call Close to
@@ -37,6 +70,7 @@ func (m *Mailbox) Put(it Item) {
 		return
 	}
 	m.queue = append(m.queue, it)
+	m.noteDepth()
 	m.cond.Signal()
 }
 
@@ -86,6 +120,9 @@ func (m *Mailbox) pump() {
 			// pin the burst's high-water-mark allocation (and every popped
 			// prefix) for the life of the endpoint.
 			m.queue = nil
+		}
+		if m.gDepth != nil {
+			m.gDepth.Set(int64(len(m.queue)))
 		}
 		m.mu.Unlock()
 

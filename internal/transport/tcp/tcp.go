@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paso/internal/obs"
@@ -110,16 +111,22 @@ type Endpoint struct {
 	hFrameBytes  *obs.Histogram
 	cSendDrops   *obs.Counter
 	cSendStalls  *obs.Counter
+	// Per-stage latency attribution: queue wait before the writer picks a
+	// frame up, and the batched write+flush itself.
+	hStageSendQ     *obs.Histogram
+	hStageSockWrite *obs.Histogram
 }
 
 // outFrame is one queued outgoing frame. hb marks heartbeats (and the
 // hello), which are counted separately from data frames. owned marks a
 // payload drawn from the transport buffer pool (SendOwned): the writer
-// recycles it once the frame is written or dropped.
+// recycles it once the frame is written or dropped. at is the enqueue
+// time of data frames, feeding the send-queue-wait stage histogram.
 type outFrame struct {
 	payload []byte
 	hb      bool
 	owned   bool
+	at      time.Time
 }
 
 // peer is the outgoing side of a link: a bounded queue drained by one
@@ -129,10 +136,36 @@ type peer struct {
 	addr string
 	q    chan outFrame
 
+	// Backpressure watermarks: a live depth gauge, a high-watermark gauge
+	// (monotone per endpoint lifetime), and a stall flag that bounds the
+	// event ring to one "send-stall" event per stall episode rather than
+	// one per blocked Send.
+	gDepth  *obs.Gauge
+	gHwm    *obs.Gauge
+	hwm     atomic.Int64
+	stalled atomic.Bool
+
 	// conn mirrors the writer's current connection so Close can interrupt
 	// a blocked write. The writer alone dials and replaces it.
 	mu   sync.Mutex
 	conn net.Conn
+}
+
+// noteDepth records the queue depth after an enqueue, ratcheting the
+// high-watermark gauge when a new maximum is observed.
+func (p *peer) noteDepth() {
+	d := int64(len(p.q))
+	p.gDepth.Set(d)
+	for {
+		old := p.hwm.Load()
+		if d <= old {
+			return
+		}
+		if p.hwm.CompareAndSwap(old, d) {
+			p.gHwm.Set(d)
+			return
+		}
+	}
 }
 
 func (p *peer) setConn(c net.Conn) {
@@ -190,6 +223,9 @@ func Listen(id transport.NodeID, addr string, opts Options) (*Endpoint, error) {
 	e.hFrameBytes = e.o.Histogram("transport.frame.bytes")
 	e.cSendDrops = e.o.Counter("transport.send.drops")
 	e.cSendStalls = e.o.Counter("transport.send.stalls")
+	e.hStageSendQ = e.o.Histogram(obs.StageSendQueue)
+	e.hStageSockWrite = e.o.Histogram(obs.StageSocketWrite)
+	e.mbox.Instrument(e.o.Gauge("transport.mailbox.depth"), e.o.Gauge("transport.mailbox.hwm"))
 	e.wg.Add(2)
 	go e.acceptLoop()
 	go e.detectorLoop()
@@ -207,7 +243,11 @@ func (e *Endpoint) AddPeer(id transport.NodeID, addr string) {
 	if _, exists := e.peers[id]; exists || id == e.id || e.closed {
 		return
 	}
-	p := &peer{id: id, addr: addr, q: make(chan outFrame, sendQueueCap)}
+	p := &peer{
+		id: id, addr: addr, q: make(chan outFrame, sendQueueCap),
+		gDepth: e.o.Gauge(fmt.Sprintf("transport.sendq.depth.p%d", id)),
+		gHwm:   e.o.Gauge(fmt.Sprintf("transport.sendq.hwm.p%d", id)),
+	}
 	e.peers[id] = p
 	e.wg.Add(2)
 	go e.writerLoop(p)
@@ -276,15 +316,23 @@ func (e *Endpoint) send(to transport.NodeID, payload []byte, owned bool) error {
 		}
 		return nil
 	}
-	f := outFrame{payload: payload, owned: owned}
+	f := outFrame{payload: payload, owned: owned, at: time.Now()}
 	select {
 	case p.q <- f:
+		p.noteDepth()
 		return nil
 	default:
 	}
 	e.cSendStalls.Inc()
+	// One event per stall episode, not per blocked Send: under saturation
+	// every Send stalls, and per-call events would evict everything else
+	// from the ring. The writer clears the flag once it drains the queue.
+	if p.stalled.CompareAndSwap(false, true) {
+		e.o.Emit("send-stall", obs.KV("peer", p.id), obs.KV("depth", len(p.q)))
+	}
 	select {
 	case p.q <- f:
+		p.noteDepth()
 		return nil
 	case <-e.stop:
 		if owned {
@@ -366,6 +414,13 @@ func (e *Endpoint) writerLoop(p *peer) {
 			}
 		}
 	write:
+		// Send-queue-wait stage: enqueue to writer pickup, per data frame.
+		now := time.Now()
+		for _, fr := range batch {
+			if !fr.at.IsZero() {
+				e.hStageSendQ.Observe(now.Sub(fr.at).Seconds())
+			}
+		}
 		var werr error
 		for _, fr := range batch {
 			if werr = writeFrameTo(bw, &hdr, e.id, fr.payload); werr != nil {
@@ -374,6 +429,11 @@ func (e *Endpoint) writerLoop(p *peer) {
 		}
 		if werr == nil {
 			werr = bw.Flush()
+		}
+		e.hStageSockWrite.Observe(time.Since(now).Seconds())
+		p.gDepth.Set(int64(len(p.q)))
+		if len(p.q) == 0 && p.stalled.CompareAndSwap(true, false) {
+			e.o.Emit("send-stall-clear", obs.KV("peer", p.id))
 		}
 		if werr != nil {
 			for _, fr := range batch {
@@ -430,6 +490,10 @@ func (e *Endpoint) drainAndDrop(p *peer) {
 		case f := <-p.q:
 			e.dropFrame(f)
 		default:
+			p.gDepth.Set(int64(len(p.q)))
+			if p.stalled.CompareAndSwap(true, false) {
+				e.o.Emit("send-stall-clear", obs.KV("peer", p.id))
+			}
 			return
 		}
 	}

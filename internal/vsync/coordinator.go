@@ -57,6 +57,7 @@ func (n *Node) becomeCoordinator() {
 		reports: make(map[transport.NodeID]map[string]syncInfo),
 	}
 	n.cs = cs
+	n.gCoordBacklog.Set(0)
 	peers := make([]transport.NodeID, 0, len(n.live))
 	for id := range n.live {
 		if id != n.self {
@@ -268,13 +269,16 @@ func (n *Node) coordCast(w *wire) {
 		waiting: make(map[transport.NodeID]bool, len(g.members)),
 		fail:    true,
 		size:    len(g.members),
+		// start feeds the order-stage histogram on every cast; tracing
+		// reuses it for the "order" span when the request is traced.
+		start: time.Now(),
 	}
 	if w.Trace != 0 {
 		pc.group, pc.trace, pc.parent = w.Group, w.Trace, w.Span
 		pc.span = obs.NextID()
-		pc.start = time.Now()
 		pc.bytes = len(w.Payload)
 	}
+	n.gCoordBacklog.Add(1)
 	for _, m := range g.members {
 		pc.waiting[m] = true
 	}
@@ -376,6 +380,10 @@ func (n *Node) coordAck(from transport.NodeID, w *wire) {
 
 func (n *Node) finishCast(g *coordGroup, seq uint64, pc *pendingCast) {
 	delete(g.pending, seq)
+	n.gCoordBacklog.Add(-1)
+	// Order stage: sequencing to full ack quorum, the coordinator's share
+	// of the operation's critical path.
+	n.hStageOrder.Observe(time.Since(pc.start).Seconds())
 	if pc.trace != 0 {
 		n.o.Spans().Record(obs.Span{
 			Trace: pc.trace, ID: pc.span, Parent: pc.parent,

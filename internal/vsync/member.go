@@ -60,11 +60,9 @@ func (n *Node) drain(g *memberState, orderer transport.NodeID) {
 func (n *Node) apply(g *memberState, orderer transport.NodeID, w *wire) {
 	switch w.Event {
 	case evData:
-		var dstart time.Time
-		if w.Trace != 0 {
-			dstart = time.Now()
-		}
+		dstart := time.Now()
 		resp, fail, dup := n.deliverOnce(g, w)
+		n.hStageDeliver.Observe(time.Since(dstart).Seconds())
 		if w.Trace != 0 {
 			note := ""
 			if dup {

@@ -98,6 +98,13 @@ type Node struct {
 	cBatchMsgs  *obs.Counter
 	hBatchOcc   *obs.Histogram
 	cWireReject *obs.Counter
+	// Per-stage latency attribution (see obs.StageOrderNames): time a
+	// gcast waits for the event loop, and time spent encoding frames.
+	hStageClientQ *obs.Histogram
+	hStageEncode  *obs.Histogram
+	hStageDeliver *obs.Histogram
+	hStageOrder   *obs.Histogram
+	gCoordBacklog *obs.Gauge
 	// hFrame records encoded frame bytes per message type (indexed by
 	// msgType), the measured |m| of the §3.3 cost model.
 	hFrame [tBatch + 1]*obs.Histogram
@@ -169,6 +176,12 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 		cBatchMsgs:  o.Counter("vsync.batch.msgs"),
 		hBatchOcc:   o.Histogram("vsync.batch.occupancy"),
 		cWireReject: o.Counter("vsync.wire.rejects"),
+
+		hStageClientQ: o.Histogram(obs.StageClientQueue),
+		hStageEncode:  o.Histogram(obs.StageEncode),
+		hStageDeliver: o.Histogram(obs.StageDeliver),
+		hStageOrder:   o.Histogram(obs.StageOrder),
+		gCoordBacklog: o.Gauge("vsync.coord.backlog"),
 	}
 	n.owned, _ = ep.(transport.OwnedSender)
 	for t := tCastReq; t <= tBatch; t++ {
@@ -243,7 +256,13 @@ func (n *Node) Gcast(group string, payload []byte) (Result, error) {
 func (n *Node) GcastTraced(group string, payload []byte, trace, parent uint64) (Result, error) {
 	start := time.Now()
 	ch := make(chan Result, 1)
-	ok := n.do(func() { n.startRequest(tCastReq, group, payload, ch, trace, parent) })
+	ok := n.do(func() {
+		// Client-queue stage: from the caller handing the request to the
+		// node until the event loop picks it up. Under saturation this is
+		// the first queue to grow.
+		n.hStageClientQ.Observe(time.Since(start).Seconds())
+		n.startRequest(tCastReq, group, payload, ch, trace, parent)
+	})
 	if !ok {
 		return Result{}, ErrClosed
 	}
@@ -583,7 +602,9 @@ func (n *Node) xmit(to transport.NodeID, w *wire) {
 // encoded size is recorded per message type — the actual |m| that the §3.3
 // msg-cost model prices.
 func (n *Node) sendNow(to transport.NodeID, w *wire) error {
+	encStart := time.Now()
 	buf := encodeWire(w)
+	n.hStageEncode.Observe(time.Since(encStart).Seconds())
 	if h := n.hFrame[w.Type]; h != nil {
 		h.Observe(float64(len(buf)))
 	}
@@ -614,6 +635,7 @@ func (n *Node) recomputeCoord() {
 		n.becomeCoordinator()
 	} else if old == n.self {
 		n.cs = nil // abdicate; clients will retransmit to the new one
+		n.gCoordBacklog.Set(0)
 	}
 	n.retransmitPending()
 }
