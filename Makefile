@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench doccheck chaos trace-race wire-fuzz sweep sweep-smoke check clean
+.PHONY: build test race vet bench doccheck chaos trace-race wire-fuzz sweep sweep-smoke sweep-check check clean
 
 build:
 	$(GO) build ./...
@@ -38,10 +38,11 @@ wire-fuzz:
 # Full saturation sweep on a real loopback-TCP cluster: an open-loop rate
 # ladder with coordinated-omission-safe latencies and per-stage
 # attribution, appended to BENCH_paso.json (EXPERIMENTS.md, "Latency
-# sweep").
+# sweep"). The ladder tops out at 4× the PR 6 knee (32k/s) so the curve
+# keeps showing the knee, not the ladder's end.
 sweep:
-	$(GO) run ./cmd/paso-loadgen -sweep 500,1000,2000,4000,8000 -rung 2s \
-		-out BENCH_paso.json -label "make sweep"
+	$(GO) run ./cmd/paso-loadgen -sweep 2000,4000,8000,16000,32000,64000,128000 \
+		-rung 2s -out BENCH_paso.json -label "make sweep"
 
 # CI-sized sweep smoke: a two-rung mini-sweep on the simulated LAN under
 # the race detector. Fails when the lowest rung cannot achieve 80% of its
@@ -50,6 +51,23 @@ sweep:
 sweep-smoke:
 	$(GO) run -race ./cmd/paso-loadgen -transport simnet -sweep 200,400 \
 		-rung 500ms -sweep-min-achieved 0.8 -out sweep-smoke.json
+
+# Sweep regression gate: run the smoke sweep fresh (no race detector, so
+# latencies are honest) into a scratch copy of the trajectory, then diff
+# the candidate against the recorded "sweep-smoke seed" point. Exits
+# nonzero when the knee drops or any shared rung's p99 blows past the
+# slack — the -compare verdict CI gates on. Smoke rungs measure ~1–2ms
+# p99s that scheduler noise on shared runners can inflate 10×, so the
+# gate combines a 4× slack with a 50ms absolute noise floor: it catches
+# knee collapse and order-of-magnitude latency regressions, not jitter.
+sweep-check:
+	cp BENCH_paso.json /tmp/paso-sweep-check.json
+	$(GO) run ./cmd/paso-loadgen -transport simnet -sweep 200,400 \
+		-rung 500ms -sweep-min-achieved 0.8 \
+		-out /tmp/paso-sweep-check.json -label "sweep-smoke candidate"
+	$(GO) run ./cmd/paso-loadgen -compare-slack 4 -compare-p99-floor 50 \
+		-out /tmp/paso-sweep-check.json \
+		-compare "sweep-smoke seed" "sweep-smoke candidate"
 
 # Deterministic fault-injection smoke under the race detector; failures
 # replay bit-identically from the same seed (README, "Chaos testing").

@@ -13,6 +13,7 @@
 //	paso-loadgen -trace-overhead -out BENCH_paso.json
 //	paso-loadgen -sweep 500,1000,2000,4000,8000 -rung 2s -out BENCH_paso.json
 //	paso-loadgen -rate 1000 -rung 2s       # one open-loop rung
+//	paso-loadgen -compare "PR 6" "PR 7"    # diff two recorded sweep points
 //
 // With -trace-overhead the same workload runs twice — operation tracing
 // off, then on — and both points are appended, so the trajectory records
@@ -27,6 +28,13 @@
 // simnet runs the same sweep on the in-process simulated LAN (the CI
 // smoke path); -sweep-min-achieved fails the run (exit 1) when the first
 // rung's achieved rate falls below the given fraction of offered.
+//
+// With -compare <labelA> <labelB> no cluster runs at all: the newest
+// recorded sweep point under each label is loaded from the trajectory
+// file (-out, default BENCH_paso.json) and diffed — knee, per-rung p99 on
+// the shared rates, saturating stage — with a REGRESSION/OK verdict. The
+// command exits 1 when the candidate's knee dropped or a shared rung's
+// p99 exceeds -compare-slack times the baseline, so CI gates on it.
 package main
 
 import (
@@ -34,11 +42,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"paso/internal/experiments"
+	"paso/internal/load"
 )
 
 // trajectory is the BENCH_paso.json schema: an append-only series of
@@ -83,8 +93,37 @@ func run(args []string) error {
 	transport := fs.String("transport", "tcp", "cluster fabric for sweeps: tcp or simnet")
 	minAchieved := fs.Float64("sweep-min-achieved", 0,
 		"fail unless the first rung achieves at least this fraction of its offered rate")
+	compare := fs.String("compare", "",
+		"compare two recorded sweep points: -compare <labelA> <labelB>; exits 1 on regression")
+	slack := fs.Float64("compare-slack", 1.5,
+		"compare mode: a rung regresses when its p99 exceeds slack × the baseline p99")
+	floor := fs.Float64("compare-p99-floor", 0,
+		"compare mode: candidate p99s below this many ms never count as regressions (noise floor)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *compare != "" {
+		labelB := fs.Arg(0)
+		if labelB == "" {
+			return fmt.Errorf("-compare needs two labels: -compare <labelA> <labelB>")
+		}
+		path := *out
+		if path == "" {
+			path = "BENCH_paso.json"
+		}
+		return runCompare(path, *compare, labelB, *slack, *floor)
 	}
 	if *sweep != "" || *rate > 0 {
 		rates, err := parseRates(*sweep, *rate)
@@ -190,6 +229,98 @@ func runSweep(cfg experiments.SweepConfig, label, out string, minAchieved float6
 				first.Achieved, minAchieved*100, first.Offered)
 		}
 	}
+	return nil
+}
+
+// findSweep returns the newest kind=="sweep" point with the given label.
+func findSweep(tr *trajectory, label string) (*point, error) {
+	for i := len(tr.Points) - 1; i >= 0; i-- {
+		p := &tr.Points[i]
+		if p.Kind == "sweep" && p.Label == label && p.Sweep != nil {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("no sweep point labeled %q", label)
+}
+
+// runCompare diffs two recorded sweep points — knee, per-rung p99 on the
+// rates both ladders share, and saturating stage — and renders a verdict.
+// B is the candidate, A the baseline; the command exits nonzero when B's
+// knee dropped below A's or any shared rung's p99 exceeds slack × A's, so
+// CI can gate on a recorded seed point. Candidate p99s at or below the
+// floor (ms) are exempt from the slack check: sub-millisecond rungs on
+// shared runners jitter by an order of magnitude from scheduler noise
+// alone, and a relative bound on them would make the gate flaky.
+func runCompare(path, labelA, labelB string, slack, floor float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr trajectory
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	a, err := findSweep(&tr, labelA)
+	if err != nil {
+		return err
+	}
+	b, err := findSweep(&tr, labelB)
+	if err != nil {
+		return err
+	}
+	sa, sb := a.Sweep, b.Sweep
+	fmt.Printf("compare %q (baseline, %s) → %q (candidate, %s)\n",
+		labelA, a.Date.Format("2006-01-02"), labelB, b.Date.Format("2006-01-02"))
+	fmt.Printf("  knee: %.0f/s → %.0f/s", sa.KneeRate, sb.KneeRate)
+	if sa.KneeRate > 0 {
+		fmt.Printf(" (%.2fx)", sb.KneeRate/sa.KneeRate)
+	}
+	fmt.Println()
+	stA, stB := sa.SaturatingStage, sb.SaturatingStage
+	if stA == "" {
+		stA = "-"
+	}
+	if stB == "" {
+		stB = "-"
+	}
+	fmt.Printf("  saturating stage: %s → %s\n", stA, stB)
+
+	byRate := make(map[float64]*load.Rung, len(sa.Rungs))
+	for i := range sa.Rungs {
+		byRate[sa.Rungs[i].Offered] = &sa.Rungs[i]
+	}
+	var regressions []string
+	shared := 0
+	for i := range sb.Rungs {
+		rb := &sb.Rungs[i]
+		ra, ok := byRate[rb.Offered]
+		if !ok {
+			continue
+		}
+		shared++
+		marker := ""
+		if ra.P99Ms > 0 && rb.P99Ms > slack*ra.P99Ms && rb.P99Ms > floor {
+			marker = "  << regression"
+			regressions = append(regressions, fmt.Sprintf(
+				"p99 at %.0f/s: %.2fms → %.2fms (> %.1fx slack)", rb.Offered, ra.P99Ms, rb.P99Ms, slack))
+		}
+		fmt.Printf("  p99 @ %6.0f/s: %8.2fms → %8.2fms%s\n", rb.Offered, ra.P99Ms, rb.P99Ms, marker)
+	}
+	if shared == 0 {
+		return fmt.Errorf("the two sweeps share no offered rates; nothing to compare")
+	}
+	if sb.KneeRate < sa.KneeRate {
+		regressions = append(regressions, fmt.Sprintf(
+			"knee dropped: %.0f/s → %.0f/s", sa.KneeRate, sb.KneeRate))
+	}
+	if len(regressions) > 0 {
+		fmt.Println("verdict: REGRESSION")
+		for _, r := range regressions {
+			fmt.Println("  -", r)
+		}
+		return fmt.Errorf("%d regression(s) vs baseline %q", len(regressions), labelA)
+	}
+	fmt.Println("verdict: OK")
 	return nil
 }
 

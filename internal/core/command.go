@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"unsafe"
 
 	"paso/internal/class"
 	"paso/internal/tuple"
@@ -62,43 +63,65 @@ func encodeCommand(c *command) []byte {
 	return out
 }
 
-// decodeCommand parses a command payload.
+// decodeCommand parses a command payload, copying string data out of b.
 func decodeCommand(b []byte) (*command, error) {
-	if len(b) < 3 {
-		return nil, errBadCommand
+	c := &command{}
+	if err := c.decode(b, false); err != nil {
+		return nil, err
 	}
-	c := &command{kind: cmdKind(b[0])}
+	return c, nil
+}
+
+// decode parses a command payload into c. With alias set, the class and
+// every string/bytes field of the object or template reference b directly
+// instead of copying: the delivery path uses this on transport receive
+// frames, which are immutable and never reused, so a stored tuple's
+// payload keeps aliasing the frame the socket produced (zero copies
+// between socket and store; see DESIGN.md, "Delivery buffer ownership").
+func (c *command) decode(b []byte, alias bool) error {
+	if len(b) < 3 {
+		return errBadCommand
+	}
+	c.kind = cmdKind(b[0])
 	n := int(binary.LittleEndian.Uint16(b[1:3]))
 	if len(b) < 3+n {
-		return nil, errBadCommand
+		return errBadCommand
 	}
-	c.class = class.ID(b[3 : 3+n])
+	if alias && n > 0 {
+		c.class = class.ID(unsafe.String(&b[3], n))
+	} else {
+		c.class = class.ID(b[3 : 3+n])
+	}
 	body := b[3+n:]
+	decTuple, decTpl := tuple.DecodeTuple, tuple.DecodeTemplate
+	if alias {
+		decTuple, decTpl = tuple.DecodeTupleAlias, tuple.DecodeTemplateAlias
+	}
 	var err error
 	switch c.kind {
 	case cmdStore:
-		c.obj, err = tuple.DecodeTuple(body)
+		c.obj, err = decTuple(body)
 	case cmdRead, cmdRemove, cmdMark:
-		c.tpl, err = tuple.DecodeTemplate(body)
+		c.tpl, err = decTpl(body)
 	case cmdSwap:
 		if len(body) < 4 {
-			return nil, errBadCommand
+			return errBadCommand
 		}
 		tlen := int(binary.LittleEndian.Uint32(body))
 		if len(body) < 4+tlen {
-			return nil, errBadCommand
+			return errBadCommand
 		}
-		c.tpl, err = tuple.DecodeTemplate(body[4 : 4+tlen])
+		c.tpl, err = decTpl(body[4 : 4+tlen])
 		if err == nil {
-			c.obj, err = tuple.DecodeTuple(body[4+tlen:])
+			c.obj, err = decTuple(body[4+tlen:])
 		}
 	default:
-		return nil, fmt.Errorf("%w: kind %d", errBadCommand, b[0])
+		return fmt.Errorf("%w: kind %d", errBadCommand, b[0])
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errBadCommand, err)
+		return fmt.Errorf("%w: %v", errBadCommand, err)
 	}
-	return c, nil
+	return nil
 }
 
 // response is a memory server's answer to a command.

@@ -91,8 +91,12 @@ func (s *server) Deliver(group string, origin transport.NodeID, payload []byte) 
 	if !ok {
 		return nil, true
 	}
-	cmd, err := decodeCommand(payload)
-	if err != nil {
+	// Alias decode: payload is a transport receive frame, immutable under
+	// the delivery ownership contract (vsync.Handler.Deliver), so a stored
+	// tuple's fields keep pointing into the frame — zero copies between
+	// socket and store. The command itself lives on this stack frame.
+	var cmd command
+	if err := cmd.decode(payload, true); err != nil {
 		return nil, true
 	}
 	applyStart := time.Now()

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+
+	"paso/internal/class"
+	"paso/internal/obs"
+	"paso/internal/storage"
+	"paso/internal/transport"
+	"paso/internal/tuple"
+)
+
+// TestDeliverStoreAliasesFrame pins the zero-copy delivery contract end to
+// end: a store command applied through the vsync.Handler Deliver path must
+// leave the stored tuple's string fields pointing INTO the delivered
+// payload buffer — no copy between the transport receive frame and the
+// store. The transport side guarantees the frame is immutable and never
+// reused (see transport.Item.Payload); this test guards the engine side,
+// failing if anyone reintroduces a copying decode on the apply path.
+func TestDeliverStoreAliasesFrame(t *testing.T) {
+	s := newServer(Config{StoreKind: storage.KindList}, obs.Nop(),
+		func(class.ID) {}, func(transport.NodeID) {})
+
+	obj := tuple.Make(tuple.String("job"), tuple.String("alias-me-0123456789"))
+	payload := encodeCommand(&command{kind: cmdStore, class: "jobs", obj: obj})
+
+	resp, fail := s.Deliver("wg/jobs", 1, payload)
+	if fail || resp == nil {
+		t.Fatalf("store command rejected (fail=%v)", fail)
+	}
+
+	got, ok, _ := s.localRead("jobs", tuple.NewTemplate(
+		tuple.Eq(tuple.String("job")), tuple.Any(tuple.KindString)))
+	if !ok {
+		t.Fatal("stored tuple not found")
+	}
+	inFrame := func(sv string) bool {
+		p := uintptr(unsafe.Pointer(unsafe.StringData(sv)))
+		lo := uintptr(unsafe.Pointer(&payload[0]))
+		return p >= lo && p+uintptr(len(sv)) <= lo+uintptr(len(payload))
+	}
+	for i := 0; i < got.Arity(); i++ {
+		sv, err := got.Field(i).AsString()
+		if err != nil {
+			t.Fatalf("field %d: %v", i, err)
+		}
+		if !inFrame(sv) {
+			t.Errorf("field %d (%q) was copied: string data does not point into the delivered frame", i, sv)
+		}
+	}
+
+	// The control: the non-alias decode used everywhere outside the
+	// delivery path must still copy.
+	c, err := decodeCommand(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := c.obj.Field(1).AsString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inFrame(sv) {
+		t.Error("decodeCommand (copying mode) aliased the input buffer")
+	}
+}

@@ -343,6 +343,9 @@ func (n *Net) send(from, to transport.NodeID, payload []byte) {
 		if dst, ok := n.nodes[to]; ok {
 			copies := 1 + fate.Duplicate
 			for c := 0; c < copies; c++ {
+				// Exclusive copy per delivery: the receiver owns the
+				// buffer outright (transport.Item ownership contract) and
+				// may alias into it indefinitely.
 				cp := make([]byte, len(payload))
 				copy(cp, payload)
 				out = append(out, delivery{dst: dst, from: from, payload: cp})

@@ -675,6 +675,9 @@ func readFrame(r io.Reader) (transport.NodeID, []byte, error) {
 	if n == 0 {
 		return from, nil, nil
 	}
+	// Fresh buffer per frame, by contract: receivers alias into delivered
+	// payloads (transport.Item ownership), so read buffers must never be
+	// reused across frames.
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err

@@ -56,6 +56,15 @@ type Item struct {
 	// KindUp/KindDown.
 	From NodeID
 	// Payload is the message body for KindMsg, nil otherwise.
+	//
+	// Ownership: the buffer belongs to the receiver from the moment the
+	// Item is read off Recv. Every transport guarantees it is freshly
+	// allocated per frame (TCP) or an exclusive copy (simnet), is never
+	// mutated or reused by the transport afterward, and is released only
+	// by garbage collection. Receivers may therefore decode by aliasing —
+	// retaining sub-slices of Payload indefinitely without copying — which
+	// is what keeps the socket-to-store delivery path copy-free (DESIGN.md,
+	// "Delivery buffer ownership").
 	Payload []byte
 }
 

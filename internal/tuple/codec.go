@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Binary codec for tuples and templates. The format is a simple
@@ -31,6 +32,10 @@ type decoder struct {
 	buf []byte
 	off int
 	err error
+	// alias makes string and bytes fields reference buf directly instead
+	// of copying. Only valid when buf is immutable for the life of the
+	// decoded values (see DecodeTupleAlias).
+	alias bool
 }
 
 func (d *decoder) fail() {
@@ -118,7 +123,11 @@ func decodeValue(d *decoder) Value {
 	case KindFloat:
 		return Float(math.Float64frombits(d.u64()))
 	case KindString:
-		return String(string(d.bytes()))
+		b := d.bytes()
+		if d.alias {
+			return String(aliasString(b))
+		}
+		return String(string(b))
 	case KindBool:
 		return Bool(d.u8() != 0)
 	case KindBytes:
@@ -141,9 +150,32 @@ func EncodeTuple(t Tuple) []byte {
 	return e.buf
 }
 
-// DecodeTuple deserializes a tuple produced by EncodeTuple.
+// aliasString views a byte slice as a string without copying. The caller
+// guarantees b is never mutated afterward.
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// DecodeTuple deserializes a tuple produced by EncodeTuple. String fields
+// are copied out of b; bytes fields alias it.
 func DecodeTuple(b []byte) (Tuple, error) {
-	d := &decoder{buf: b}
+	return decodeTuple(b, false)
+}
+
+// DecodeTupleAlias is DecodeTuple with zero-copy fields: string and bytes
+// values alias b directly. The caller must guarantee b is immutable for as
+// long as any decoded value is retained — the contract holds for transport
+// receive frames (see DESIGN.md, "Delivery buffer ownership"), which is
+// what makes socket-to-store delivery copy-free.
+func DecodeTupleAlias(b []byte) (Tuple, error) {
+	return decodeTuple(b, true)
+}
+
+func decodeTuple(b []byte, alias bool) (Tuple, error) {
+	d := &decoder{buf: b, alias: alias}
 	id := ID{Origin: d.u64(), Seq: d.u64()}
 	n := int(d.u16())
 	fields := make([]Value, 0, n)
@@ -183,7 +215,17 @@ func EncodeTemplate(tp Template) []byte {
 
 // DecodeTemplate deserializes a template produced by EncodeTemplate.
 func DecodeTemplate(b []byte) (Template, error) {
-	d := &decoder{buf: b}
+	return decodeTemplate(b, false)
+}
+
+// DecodeTemplateAlias is DecodeTemplate under the zero-copy contract of
+// DecodeTupleAlias: matcher operand strings and bytes alias b.
+func DecodeTemplateAlias(b []byte) (Template, error) {
+	return decodeTemplate(b, true)
+}
+
+func decodeTemplate(b []byte, alias bool) (Template, error) {
+	d := &decoder{buf: b, alias: alias}
 	n := int(d.u16())
 	ms := make([]Matcher, 0, n)
 	for i := 0; i < n; i++ {

@@ -34,6 +34,22 @@ import (
 //	body (type == tBatch):
 //	  count    uvarint
 //	  count × envelope (no per-message magic; nesting forbidden)
+//	body (type == tOrderedRun):
+//	  group    uvarint len || bytes
+//	  firstSeq uvarint
+//	  count    uvarint
+//	  count × event:
+//	    reqID   uvarint
+//	    origin  uvarint
+//	    trace   uvarint
+//	    span    uvarint
+//	    payload uvarint len || bytes
+//
+// A tOrderedRun is a contiguous run of ordered data events for one group:
+// event i carries sequence firstSeq+i implicitly, and the group name and
+// event kind are encoded once for the whole run instead of once per
+// envelope (PROTOCOL.md, "Batched ordering"). Runs may ride inside a
+// tBatch like any other envelope.
 //
 // All varints are canonical unsigned LEB128 (encoding/binary.Uvarint), so
 // every zero-valued field — and in particular the two trace-header words of
@@ -85,6 +101,18 @@ func encodeWire(w *wire) []byte {
 	return appendEnvelope(append(transport.GetBuf(), wireMagicV1), w, false)
 }
 
+// encodeWireBatch serializes several staged envelopes as one tBatch frame
+// without first copying them into a contiguous []wire — the send workers'
+// path for a flushed outbox slice. Buffer ownership follows encodeWire.
+func encodeWireBatch(ws []*wire) []byte {
+	buf := append(transport.GetBuf(), wireMagicV1, byte(tBatch), 0)
+	buf = binary.AppendUvarint(buf, uint64(len(ws)))
+	for _, w := range ws {
+		buf = appendEnvelope(buf, w, true)
+	}
+	return buf
+}
+
 // appendEnvelope appends the envelope encoding of w to buf. inner marks a
 // batched sub-envelope, which may not itself be a batch.
 func appendEnvelope(buf []byte, w *wire, inner bool) []byte {
@@ -105,6 +133,25 @@ func appendEnvelope(buf []byte, w *wire, inner bool) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(w.Batch)))
 		for i := range w.Batch {
 			buf = appendEnvelope(buf, &w.Batch[i], true)
+		}
+		return buf
+	}
+	if w.Type == tOrderedRun {
+		// Shared header once, then the per-event fields. The sub-wires'
+		// own Group/Seq/Type/Event are derived values (set on decode for
+		// the member's convenience) and are not encoded.
+		buf = binary.AppendUvarint(buf, uint64(len(w.Group)))
+		buf = append(buf, w.Group...)
+		buf = binary.AppendUvarint(buf, w.Seq)
+		buf = binary.AppendUvarint(buf, uint64(len(w.Batch)))
+		for i := range w.Batch {
+			e := &w.Batch[i]
+			buf = binary.AppendUvarint(buf, e.ReqID)
+			buf = binary.AppendUvarint(buf, e.Origin)
+			buf = binary.AppendUvarint(buf, e.Trace)
+			buf = binary.AppendUvarint(buf, e.Span)
+			buf = binary.AppendUvarint(buf, uint64(len(e.Payload)))
+			buf = append(buf, e.Payload...)
 		}
 		return buf
 	}
@@ -271,6 +318,36 @@ func (d *wireDecoder) decodeEnvelope(r *rbuf, w *wire, inner bool) {
 		w.Batch = make([]wire, n)
 		for i := range w.Batch {
 			d.decodeEnvelope(r, &w.Batch[i], true)
+			if r.err != nil {
+				return
+			}
+		}
+		return
+	}
+	if w.Type == tOrderedRun {
+		w.Group = d.intern(r.bytes())
+		w.Seq = r.uvarint()
+		n := r.uvarint()
+		// Each run event is at least 5 bytes (four varints + payload len);
+		// a larger count is corrupt and must not drive a huge allocation.
+		if r.err != nil || n > uint64(r.remaining()/5) {
+			r.fail()
+			return
+		}
+		w.Batch = make([]wire, n)
+		for i := range w.Batch {
+			e := &w.Batch[i]
+			// Derived fields first, so each sub-wire stands alone as a
+			// normal tOrdered data event for the member path.
+			e.Type = tOrdered
+			e.Event = w.Event
+			e.Group = w.Group
+			e.Seq = w.Seq + uint64(i)
+			e.ReqID = r.uvarint()
+			e.Origin = r.uvarint()
+			e.Trace = r.uvarint()
+			e.Span = r.uvarint()
+			e.Payload = r.bytes()
 			if r.err != nil {
 				return
 			}

@@ -1,6 +1,7 @@
 package vsync
 
 import (
+	"sync"
 	"time"
 
 	"paso/internal/obs"
@@ -16,23 +17,45 @@ type coordState struct {
 	syncWait   map[transport.NodeID]bool
 	reports    map[transport.NodeID]map[string]syncInfo
 	queued     []queuedReq
+	// dirty lists groups with staged casts awaiting sequencing; the loop
+	// drains it once per burst (flushCoord), so every cast that arrived in
+	// the burst shares one sequence-range allocation and one fan-out run.
+	dirty []*coordGroup
 }
 
 // coordGroup is the coordinator's authoritative record for one group.
+//
+// members is copy-on-write: every membership change installs a freshly
+// built slice and never mutates the old one, so the member views captured
+// by in-flight pendingCasts stay index-stable for their bitmask acks.
 type coordGroup struct {
+	name    string
 	members []transport.NodeID
 	nextSeq uint64
-	pending map[uint64]*pendingCast
+	// pending holds response gathering per sequence number in a ring
+	// buffer keyed by seq: puts are monotonically increasing, removals
+	// advance the base past completed casts, and steady state neither
+	// allocates nor churns map buckets.
+	pending pendingRing
+	// staged buffers this burst's tCastReq wires (and their arrival times)
+	// until flushCoord assigns the contiguous sequence range.
+	staged   []*wire
+	stagedAt []time.Time
 }
 
-// pendingCast tracks response gathering for one ordered data event.
+// pendingCast tracks response gathering for one ordered data event. The
+// struct is pooled (pcPool); waiting is a bitmask over the members slice
+// captured at sequencing time, so the ack hot path does no map work and
+// no allocation.
 type pendingCast struct {
-	origin  transport.NodeID
-	reqID   uint64
-	waiting map[transport.NodeID]bool
-	resp    []byte
-	fail    bool
-	size    int
+	origin    transport.NodeID
+	reqID     uint64
+	members   []transport.NodeID // group view at sequencing time (shared, COW)
+	waiting   []uint64           // bit i set ⇔ members[i] has not acked
+	remaining int
+	resp      []byte
+	fail      bool
+	size      int
 	// Tracing state (zero when the cast is untraced): the "order" span
 	// minted at sequencing time, recorded when the gather completes.
 	group  string
@@ -43,9 +66,118 @@ type pendingCast struct {
 	bytes  int
 }
 
+// pcPool recycles pendingCast structs (and their bitmask backing arrays)
+// across casts, keeping the sequencing hot path allocation-free.
+var pcPool = sync.Pool{New: func() any { return new(pendingCast) }}
+
+// ackFrom clears the member's waiting bit, reporting false for a node that
+// is not in the gather set or already acked.
+func (pc *pendingCast) ackFrom(id transport.NodeID) bool {
+	for i, m := range pc.members {
+		if m != id {
+			continue
+		}
+		word, bit := i>>6, uint64(1)<<(uint(i)&63)
+		if pc.waiting[word]&bit == 0 {
+			return false
+		}
+		pc.waiting[word] &^= bit
+		pc.remaining--
+		return true
+	}
+	return false
+}
+
+// pendingRing is a power-of-two ring of pending casts keyed by sequence
+// number. Sequences are inserted in increasing order; slots for sequence
+// numbers that never carried a data cast (membership events) stay nil and
+// the base simply advances past them.
+type pendingRing struct {
+	base uint64 // lowest seq the ring may still hold
+	next uint64 // one past the highest seq ever stored
+	buf  []*pendingCast
+}
+
+func (r *pendingRing) empty() bool { return r.base == r.next }
+
+func (r *pendingRing) put(seq uint64, pc *pendingCast) {
+	if r.empty() {
+		r.base, r.next = seq, seq
+	}
+	for len(r.buf) == 0 || seq-r.base >= uint64(len(r.buf)) {
+		r.grow()
+	}
+	r.buf[seq&uint64(len(r.buf)-1)] = pc
+	if seq >= r.next {
+		r.next = seq + 1
+	}
+}
+
+func (r *pendingRing) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]*pendingCast, n)
+	for s := r.base; s < r.next; s++ {
+		nb[s&uint64(n-1)] = r.buf[s&uint64(len(r.buf)-1)]
+	}
+	r.buf = nb
+}
+
+func (r *pendingRing) get(seq uint64) *pendingCast {
+	if seq < r.base || seq >= r.next {
+		return nil
+	}
+	return r.buf[seq&uint64(len(r.buf)-1)]
+}
+
+func (r *pendingRing) del(seq uint64) {
+	if seq < r.base || seq >= r.next {
+		return
+	}
+	r.buf[seq&uint64(len(r.buf)-1)] = nil
+	for r.base < r.next && r.buf[r.base&uint64(len(r.buf)-1)] == nil {
+		r.base++
+	}
+}
+
 type queuedReq struct {
 	from transport.NodeID
 	w    *wire
+}
+
+// preCoordMax bounds the not-yet-coordinator request stash (Node.preCoord).
+// The stash only grows during the short window between a peer observing the
+// old coordinator's death and this node observing it; past the cap, excess
+// requests fall back to the pre-existing behavior (dropped, resolved by the
+// sender's next coordinator change or the caller's timeout).
+const preCoordMax = 4096
+
+// addIDCopy returns ids plus id, building a new slice when a change is
+// needed (coordinator-side membership is copy-on-write; see coordGroup).
+func addIDCopy(ids []transport.NodeID, id transport.NodeID) []transport.NodeID {
+	if containsID(ids, id) {
+		return ids
+	}
+	out := make([]transport.NodeID, len(ids)+1)
+	copy(out, ids)
+	out[len(ids)] = id
+	return out
+}
+
+// removeIDCopy returns ids minus id, building a new slice when a change is
+// needed.
+func removeIDCopy(ids []transport.NodeID, id transport.NodeID) []transport.NodeID {
+	for i, x := range ids {
+		if x != id {
+			continue
+		}
+		out := make([]transport.NodeID, 0, len(ids)-1)
+		out = append(out, ids[:i]...)
+		return append(out, ids[i+1:]...)
+	}
+	return ids
 }
 
 // becomeCoordinator initializes sequencing state when this node becomes the
@@ -70,9 +202,9 @@ func (n *Node) becomeCoordinator() {
 				continue
 			}
 			cs.groups[name] = &coordGroup{
+				name:    name,
 				members: []transport.NodeID{n.self},
 				nextSeq: g.last + 1,
-				pending: make(map[uint64]*pendingCast),
 			}
 		}
 		return
@@ -136,7 +268,7 @@ func (n *Node) mergeReport(from transport.NodeID, infos map[string]syncInfo) {
 		cg := cs.groups[name]
 		if cg == nil || len(cg.members) == 0 {
 			if cg == nil {
-				cg = &coordGroup{pending: make(map[uint64]*pendingCast)}
+				cg = &coordGroup{name: name}
 				cs.groups[name] = cg
 			}
 			cg.members = []transport.NodeID{from}
@@ -160,7 +292,7 @@ func (n *Node) mergeReport(from transport.NodeID, infos map[string]syncInfo) {
 // members and unblocking pending casts, without requiring the subject to
 // process the ordered event (its series may have diverged).
 func (n *Node) evictMember(name string, g *coordGroup, id transport.NodeID) {
-	g.members = removeID(g.members, id)
+	g.members = removeIDCopy(g.members, id)
 	seq := g.nextSeq
 	g.nextSeq++
 	ordered := &wire{
@@ -198,11 +330,11 @@ func (n *Node) finishRecovery() {
 		}
 	}
 	for name, claims := range byGroup {
-		g := &coordGroup{pending: make(map[uint64]*pendingCast)}
+		g := &coordGroup{name: name}
 		var donor transport.NodeID
 		var maxLast uint64
 		for _, c := range claims {
-			g.members = addID(g.members, c.node)
+			g.members = addIDCopy(g.members, c.node)
 			if c.last >= maxLast {
 				maxLast = c.last
 				donor = c.node
@@ -228,7 +360,7 @@ func (n *Node) finishRecovery() {
 func (n *Node) coordGroupFor(name string) *coordGroup {
 	g, ok := n.cs.groups[name]
 	if !ok {
-		g = &coordGroup{nextSeq: 1, pending: make(map[uint64]*pendingCast)}
+		g = &coordGroup{name: name, nextSeq: 1}
 		n.cs.groups[name] = g
 	}
 	return g
@@ -239,7 +371,14 @@ func (n *Node) coordGroupFor(name string) *coordGroup {
 func (n *Node) coordRequest(from transport.NodeID, w *wire) {
 	cs := n.cs
 	if cs == nil {
-		return // abdicated; the client will retransmit to the new coordinator
+		// Not coordinator. The sender's failure detector may simply be
+		// ahead of ours — it already saw the old coordinator die and we
+		// have not. Stash the request; recomputeCoord replays it if we do
+		// take over and discards it if the coordinatorship lands elsewhere.
+		if len(n.preCoord) < preCoordMax {
+			n.preCoord = append(n.preCoord, queuedReq{from: from, w: w})
+		}
+		return
 	}
 	if cs.recovering {
 		cs.queued = append(cs.queued, queuedReq{from: from, w: w})
@@ -255,48 +394,144 @@ func (n *Node) coordRequest(from transport.NodeID, w *wire) {
 	}
 }
 
+// coordCast stages one cast request for sequencing. Sequence numbers are
+// not assigned here: the loop calls flushCoord once per burst, so every
+// cast the burst drained for the same group shares one contiguous range
+// and one fan-out run (the §3.3 amortization applied to ordering).
 func (n *Node) coordCast(w *wire) {
 	g, ok := n.cs.groups[w.Group]
 	if !ok || len(g.members) == 0 {
-		n.send(tid(w.Origin), &wire{Type: tReply, ReqID: w.ReqID, Fail: true})
+		n.sendReply(tid(w.Origin), w.ReqID, nil, true, 0)
 		return
 	}
-	seq := g.nextSeq
-	g.nextSeq++
-	pc := &pendingCast{
-		origin:  tid(w.Origin),
-		reqID:   w.ReqID,
-		waiting: make(map[transport.NodeID]bool, len(g.members)),
-		fail:    true,
-		size:    len(g.members),
-		// start feeds the order-stage histogram on every cast; tracing
-		// reuses it for the "order" span when the request is traced.
-		start: time.Now(),
+	if len(g.staged) == 0 {
+		n.cs.dirty = append(n.cs.dirty, g)
 	}
+	g.staged = append(g.staged, w)
+	// The cast's enqueue time: the order stage (and the order span of a
+	// traced request) starts here, not at sequence assignment, so staging
+	// latency cannot hide from the coordinated-omission-safe stage clocks.
+	g.stagedAt = append(g.stagedAt, time.Now())
+	n.gCoordBacklog.Add(1)
+}
+
+// flushCoord assigns sequence ranges to every group with staged casts.
+// The loop calls it after each burst, before the outbox flush, so the runs
+// it emits ride in the same frames as the burst's other traffic.
+func (n *Node) flushCoord() {
+	cs := n.cs
+	if cs == nil || len(cs.dirty) == 0 {
+		return
+	}
+	dirty := cs.dirty
+	cs.dirty = cs.dirty[:0]
+	for i, g := range dirty {
+		n.sequenceStaged(g)
+		dirty[i] = nil
+	}
+}
+
+// sequenceStaged allocates one contiguous sequence range for a group's
+// staged casts and fans them out as a single tOrderedRun per member.
+func (n *Node) sequenceStaged(g *coordGroup) {
+	k := len(g.staged)
+	if k == 0 {
+		return
+	}
+	if len(g.members) == 0 {
+		// The group emptied between staging and flush (members crashed or
+		// left within the burst): fail the casts back to their origins.
+		for i, w := range g.staged {
+			n.sendReply(tid(w.Origin), w.ReqID, nil, true, 0)
+			n.gCoordBacklog.Add(-1)
+			g.staged[i] = nil
+		}
+		g.staged = g.staged[:0]
+		g.stagedAt = g.stagedAt[:0]
+		return
+	}
+	first := g.nextSeq
+	g.nextSeq += uint64(k)
+	run := getPooledWire()
+	run.Type = tOrderedRun
+	run.Group = g.name
+	run.Seq = first
+	run.Event = evData
+	run.Batch = run.Batch[:0]
+	for i, w := range g.staged {
+		seq := first + uint64(i)
+		pc := n.newPendingCast(g, w, g.stagedAt[i])
+		g.pending.put(seq, pc)
+		run.Batch = append(run.Batch, wire{
+			Type: tOrdered, Group: g.name, Seq: seq, Event: evData,
+			ReqID: w.ReqID, Origin: w.Origin, Payload: w.Payload,
+			Trace: w.Trace, Span: pc.span,
+		})
+		g.staged[i] = nil
+	}
+	g.staged = g.staged[:0]
+	g.stagedAt = g.stagedAt[:0]
+	run.refs = int32(len(g.members))
+	n.cRunSends.Inc()
+	n.cRunCasts.Add(int64(k))
+	n.hRunOcc.Observe(float64(k))
+	for _, m := range g.members {
+		n.send(m, run)
+	}
+}
+
+// newPendingCast draws a pooled gather record for one staged cast, with
+// the waiting bitmask covering the group's current member view.
+func (n *Node) newPendingCast(g *coordGroup, w *wire, at time.Time) *pendingCast {
+	pc := pcPool.Get().(*pendingCast)
+	k := len(g.members)
+	pc.origin = tid(w.Origin)
+	pc.reqID = w.ReqID
+	pc.members = g.members
+	words := (k + 63) / 64
+	if cap(pc.waiting) < words {
+		pc.waiting = make([]uint64, words)
+	}
+	pc.waiting = pc.waiting[:words]
+	for i := range pc.waiting {
+		pc.waiting[i] = ^uint64(0)
+	}
+	if rem := uint(k) & 63; rem != 0 {
+		pc.waiting[words-1] = 1<<rem - 1
+	}
+	pc.remaining = k
+	pc.resp = nil
+	pc.fail = true
+	pc.size = k
+	pc.group, pc.trace, pc.parent, pc.span, pc.bytes = "", 0, 0, 0, 0
+	pc.start = at
 	if w.Trace != 0 {
-		pc.group, pc.trace, pc.parent = w.Group, w.Trace, w.Span
+		pc.group, pc.trace, pc.parent = g.name, w.Trace, w.Span
 		pc.span = obs.NextID()
 		pc.bytes = len(w.Payload)
 	}
-	n.gCoordBacklog.Add(1)
-	for _, m := range g.members {
-		pc.waiting[m] = true
-	}
-	g.pending[seq] = pc
-	ordered := &wire{
-		Type:    tOrdered,
-		Group:   w.Group,
-		Seq:     seq,
-		Event:   evData,
-		ReqID:   w.ReqID,
-		Origin:  w.Origin,
-		Payload: w.Payload,
-		Trace:   w.Trace,
-		Span:    pc.span,
-	}
-	for _, m := range g.members {
-		n.send(m, ordered)
-	}
+	return pc
+}
+
+// putPendingCast recycles a completed gather record, dropping references
+// into frame buffers and member views first.
+func putPendingCast(pc *pendingCast) {
+	pc.members = nil
+	pc.resp = nil
+	pc.group = ""
+	pcPool.Put(pc)
+}
+
+// sendReply stages a pooled tReply wire to the request's origin.
+func (n *Node) sendReply(to transport.NodeID, reqID uint64, payload []byte, fail bool, size int) {
+	w := getPooledWire()
+	w.Type = tReply
+	w.ReqID = reqID
+	w.Payload = payload
+	w.Fail = fail
+	w.Size = size
+	w.refs = 1
+	n.send(to, w)
 }
 
 func (n *Node) coordJoin(w *wire) {
@@ -309,7 +544,7 @@ func (n *Node) coordJoin(w *wire) {
 			break
 		}
 	}
-	g.members = addID(g.members, subject)
+	g.members = addIDCopy(g.members, subject)
 	seq := g.nextSeq
 	g.nextSeq++
 	ordered := &wire{
@@ -344,8 +579,10 @@ func (n *Node) coordLeave(w *wire) {
 		Event:   evLeave,
 		Subject: w.Subject,
 	}
-	recipients := append([]transport.NodeID(nil), g.members...)
-	g.members = removeID(g.members, subject)
+	// The pre-removal view is the recipient set; copy-on-write makes it
+	// free to keep while the group advances.
+	recipients := g.members
+	g.members = removeIDCopy(g.members, subject)
 	for _, m := range recipients {
 		n.send(m, ordered)
 	}
@@ -364,24 +601,23 @@ func (n *Node) coordAck(from transport.NodeID, w *wire) {
 	if !ok {
 		return
 	}
-	pc, ok := g.pending[w.Seq]
-	if !ok || !pc.waiting[from] {
+	pc := g.pending.get(w.Seq)
+	if pc == nil || !pc.ackFrom(from) {
 		return
 	}
-	delete(pc.waiting, from)
 	if !w.Fail && pc.fail {
 		pc.resp = w.Payload
 		pc.fail = false
 	}
-	if len(pc.waiting) == 0 {
+	if pc.remaining == 0 {
 		n.finishCast(g, w.Seq, pc)
 	}
 }
 
 func (n *Node) finishCast(g *coordGroup, seq uint64, pc *pendingCast) {
-	delete(g.pending, seq)
+	g.pending.del(seq)
 	n.gCoordBacklog.Add(-1)
-	// Order stage: sequencing to full ack quorum, the coordinator's share
+	// Order stage: staging to full ack quorum, the coordinator's share
 	// of the operation's critical path.
 	n.hStageOrder.Observe(time.Since(pc.start).Seconds())
 	if pc.trace != 0 {
@@ -392,13 +628,8 @@ func (n *Node) finishCast(g *coordGroup, seq uint64, pc *pendingCast) {
 			GroupSize: pc.size, Fail: pc.fail,
 		})
 	}
-	n.send(pc.origin, &wire{
-		Type:    tReply,
-		ReqID:   pc.reqID,
-		Payload: pc.resp,
-		Fail:    pc.fail,
-		Size:    pc.size,
-	})
+	n.sendReply(pc.origin, pc.reqID, pc.resp, pc.fail, pc.size)
+	putPendingCast(pc)
 }
 
 // coordNodeDown evicts a crashed node from every group and unblocks
@@ -419,7 +650,8 @@ func (n *Node) coordNodeDown(dead transport.NodeID) {
 			n.dropFromPending(g, dead)
 			continue
 		}
-		g.members = removeID(g.members, dead)
+		recipients := g.members
+		g.members = removeIDCopy(g.members, dead)
 		seq := g.nextSeq
 		g.nextSeq++
 		ordered := &wire{
@@ -429,8 +661,10 @@ func (n *Node) coordNodeDown(dead transport.NodeID) {
 			Event:   evDown,
 			Subject: nid(dead),
 		}
-		for _, m := range g.members {
-			n.send(m, ordered)
+		for _, m := range recipients {
+			if m != dead {
+				n.send(m, ordered)
+			}
 		}
 		n.dropFromPending(g, dead)
 	}
@@ -439,12 +673,13 @@ func (n *Node) coordNodeDown(dead transport.NodeID) {
 // dropFromPending removes a node from every pending cast's waiting set,
 // finishing casts that become complete.
 func (n *Node) dropFromPending(g *coordGroup, id transport.NodeID) {
-	for seq, pc := range g.pending {
-		if pc.waiting[id] {
-			delete(pc.waiting, id)
-			if len(pc.waiting) == 0 {
-				n.finishCast(g, seq, pc)
-			}
+	for s, e := g.pending.base, g.pending.next; s < e; s++ {
+		pc := g.pending.get(s)
+		if pc == nil {
+			continue
+		}
+		if pc.ackFrom(id) && pc.remaining == 0 {
+			n.finishCast(g, s, pc)
 		}
 	}
 }

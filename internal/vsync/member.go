@@ -43,6 +43,16 @@ func (n *Node) memberOrdered(from transport.NodeID, w *wire) {
 	n.drain(g, from)
 }
 
+// memberOrderedRun handles a contiguous run of sequenced data events: each
+// sub-event is an ordinary tOrdered envelope (sequence Seq+i, materialized
+// by the decoder), so buffering, dedup, and recovery treat a run exactly
+// like the equivalent sequence of single events.
+func (n *Node) memberOrderedRun(from transport.NodeID, w *wire) {
+	for i := range w.Batch {
+		n.memberOrdered(from, &w.Batch[i])
+	}
+}
+
 // drain applies buffered events in sequence order.
 func (n *Node) drain(g *memberState, orderer transport.NodeID) {
 	for {
@@ -75,15 +85,16 @@ func (n *Node) apply(g *memberState, orderer transport.NodeID, w *wire) {
 				Fail: fail, Note: note,
 			})
 		}
-		n.send(orderer, &wire{
-			Type:    tAck,
-			Group:   g.name,
-			Seq:     w.Seq,
-			ReqID:   w.ReqID,
-			Origin:  w.Origin,
-			Payload: resp,
-			Fail:    fail,
-		})
+		ack := getPooledWire()
+		ack.Type = tAck
+		ack.Group = g.name
+		ack.Seq = w.Seq
+		ack.ReqID = w.ReqID
+		ack.Origin = w.Origin
+		ack.Payload = resp
+		ack.Fail = fail
+		ack.refs = 1
+		n.send(orderer, ack)
 	case evJoin:
 		subject := tid(w.Subject)
 		old := append([]transport.NodeID(nil), g.members...)

@@ -4,7 +4,11 @@ import (
 	cryptorand "crypto/rand"
 	"encoding/binary"
 	"errors"
+	"os"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"paso/internal/obs"
@@ -19,6 +23,13 @@ type Handler interface {
 	// Deliver processes one totally ordered gcast payload and returns the
 	// member's response. fail=true marks a "fail" response; the gatherer
 	// prefers non-fail responses (paper §3.2: one response is returned).
+	//
+	// Ownership: payload aliases the transport's receive frame, which is
+	// immutable once delivered and never reused by the transport. The
+	// handler may therefore retain payload (or sub-slices of it)
+	// indefinitely without copying; release is by garbage collection when
+	// the last retained slice is dropped. See DESIGN.md, "Delivery
+	// buffer ownership".
 	Deliver(group string, origin transport.NodeID, payload []byte) (resp []byte, fail bool)
 	// Snapshot serializes the member's state for the group, used as the
 	// g-join state transfer (paper §4.2).
@@ -78,12 +89,37 @@ type Node struct {
 	pending map[uint64]*pendingReq
 	groups  map[string]*memberState
 	cs      *coordState // non-nil while this node is coordinator
+	// preCoord stashes client requests that arrived while this node was
+	// not (yet) coordinator. A client whose failure detector runs ahead of
+	// ours sends here before we have processed the old coordinator's death;
+	// dropping such a request would strand the client forever, because it
+	// retransmits only on a coordinator *change* and its view is already
+	// correct. Replayed by recomputeCoord on takeover, discarded when the
+	// coordinator resolves to another node (that client's own coord change
+	// covers the retransmission then).
+	preCoord []queuedReq
 
 	// Outgoing frames are staged here and flushed once per loop burst:
 	// messages bound for the same peer coalesce into one tBatch frame, so
 	// a burst of k ordered events costs one frame's α instead of k (§3.3).
 	outbox      map[transport.NodeID][]*wire
 	outboxOrder []transport.NodeID
+	// fanout enables the per-destination send workers. On multi-core
+	// hosts encoding a fan-out to N members overlaps across N goroutines
+	// instead of serializing on the event loop; with a single CPU the
+	// handoff is pure scheduling overhead, so the loop sends inline.
+	// Decided once at construction (GOMAXPROCS, overridable by the
+	// PASO_FANOUT env var) — never toggled while the loop runs.
+	fanout bool
+	// workers holds one send worker per destination, lazily spawned by
+	// flushOutbox. Per-destination FIFO (and with it total-order
+	// delivery) is preserved because each destination has exactly one
+	// worker draining an ordered channel.
+	workers map[transport.NodeID]chan []*wire
+	sendWG  sync.WaitGroup
+	// wsFree recycles outbox slices between the loop (stage) and the
+	// workers (drain) without sync.Pool's interface boxing.
+	wsFree chan []*wire
 
 	// Observability handles (resolved once at construction).
 	o           *obs.Obs
@@ -105,9 +141,41 @@ type Node struct {
 	hStageDeliver *obs.Histogram
 	hStageOrder   *obs.Histogram
 	gCoordBacklog *obs.Gauge
+	// Batched-ordering counters: runs emitted, casts they carried, and
+	// the per-run occupancy distribution (casts per seq range).
+	cRunSends *obs.Counter
+	cRunCasts *obs.Counter
+	hRunOcc   *obs.Histogram
 	// hFrame records encoded frame bytes per message type (indexed by
 	// msgType), the measured |m| of the §3.3 cost model.
-	hFrame [tBatch + 1]*obs.Histogram
+	hFrame [tMaxType + 1]*obs.Histogram
+}
+
+// wirePool recycles the wires the hot path mints per operation — the
+// coordinator's runs and replies and the members' acks. A pooled wire
+// carries refs = number of destinations it is staged to; the send worker
+// that performs the last encode recycles it (releaseWire).
+var wirePool = sync.Pool{New: func() any { return new(wire) }}
+
+func getPooledWire() *wire { return wirePool.Get().(*wire) }
+
+// releaseWire drops one staging reference. Unpooled wires (refs zero —
+// membership events, client requests, recovery traffic) are left to the
+// garbage collector.
+func releaseWire(w *wire) {
+	if atomic.LoadInt32(&w.refs) == 0 {
+		return
+	}
+	if atomic.AddInt32(&w.refs, -1) != 0 {
+		return
+	}
+	// Reset, keeping the Batch backing array but dropping every payload
+	// reference it pins (payloads alias transport recv frames).
+	batch := w.Batch
+	clear(batch)
+	*w = wire{}
+	w.Batch = batch[:0]
+	wirePool.Put(w)
 }
 
 // pendingReq is a client-side request awaiting resolution.
@@ -163,6 +231,8 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 		pending: make(map[uint64]*pendingReq),
 		groups:  make(map[string]*memberState),
 		outbox:  make(map[transport.NodeID][]*wire),
+		workers: make(map[transport.NodeID]chan []*wire),
+		wsFree:  make(chan []*wire, 64),
 
 		o:           o,
 		cGcast:      o.Counter("vsync.gcast.total"),
@@ -182,9 +252,13 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 		hStageDeliver: o.Histogram(obs.StageDeliver),
 		hStageOrder:   o.Histogram(obs.StageOrder),
 		gCoordBacklog: o.Gauge("vsync.coord.backlog"),
+		cRunSends:     o.Counter("vsync.order.runs"),
+		cRunCasts:     o.Counter("vsync.order.run.casts"),
+		hRunOcc:       o.Histogram("vsync.order.run.occupancy"),
 	}
 	n.owned, _ = ep.(transport.OwnedSender)
-	for t := tCastReq; t <= tBatch; t++ {
+	n.fanout = fanoutEnabled()
+	for t := tCastReq; t <= tMaxType; t++ {
 		n.hFrame[t] = o.Histogram("vsync.frame.bytes." + t.String())
 	}
 	// Request IDs must not collide across incarnations of the same node ID
@@ -405,10 +479,13 @@ const maxLoopBurst = 64
 func (n *Node) loop() {
 	defer close(n.done)
 	defer n.failAllPending()
+	defer n.stopWorkers()
 	for {
-		// Flush before blocking: frames staged by the previous burst (or
-		// by initialization, which runs before the loop starts) must not
-		// wait for the next event.
+		// Sequence then flush before blocking: casts staged by the
+		// previous burst share one seq-range allocation (flushCoord), and
+		// frames staged by the burst (or by initialization, which runs
+		// before the loop starts) must not wait for the next event.
+		n.flushCoord()
 		n.flushOutbox()
 		select {
 		case <-n.stop:
@@ -430,6 +507,7 @@ func (n *Node) loop() {
 				f()
 			case it, ok := <-n.ep.Recv():
 				if !ok {
+					n.flushCoord()
 					n.flushOutbox()
 					return
 				}
@@ -441,8 +519,11 @@ func (n *Node) loop() {
 	}
 }
 
-// flushOutbox transmits every staged frame, coalescing multiple messages
-// to the same destination into one tBatch envelope.
+// flushOutbox drains every staged per-destination frame group: with the
+// fan-out workers enabled, each group is handed to its destination's send
+// worker so the encodes overlap across peers off the event loop; on a
+// single-CPU host the handoff buys no parallelism and only costs wakeups,
+// so the loop encodes and transmits inline instead (see fanoutWorkers).
 func (n *Node) flushOutbox() {
 	if len(n.outboxOrder) == 0 {
 		return
@@ -450,22 +531,108 @@ func (n *Node) flushOutbox() {
 	for _, to := range n.outboxOrder {
 		ws := n.outbox[to]
 		delete(n.outbox, to)
-		switch len(ws) {
-		case 0:
-		case 1:
-			n.xmit(to, ws[0])
-		default:
-			batch := make([]wire, len(ws))
-			for i, w := range ws {
-				batch[i] = *w
-			}
-			n.cBatchSends.Inc()
-			n.cBatchMsgs.Add(int64(len(ws)))
-			n.hBatchOcc.Observe(float64(len(ws)))
-			n.xmit(to, &wire{Type: tBatch, Batch: batch})
+		if len(ws) == 0 {
+			continue
+		}
+		if n.fanout {
+			n.workerFor(to) <- ws
+		} else {
+			n.drainFrames(to, ws)
 		}
 	}
 	n.outboxOrder = n.outboxOrder[:0]
+}
+
+// sendWorkerQueue bounds staged-but-unencoded frame groups per peer. The
+// loop blocks when a worker falls this far behind — backpressure toward
+// the clients, matching the transport's own bounded send queues.
+const sendWorkerQueue = 256
+
+// fanoutEnabled decides whether nodes use per-destination send workers:
+// yes when more than one CPU can actually run them, with the PASO_FANOUT
+// env var ("1"/"0") overriding either way — tests force the worker path
+// on single-CPU CI hosts with it.
+func fanoutEnabled() bool {
+	switch os.Getenv("PASO_FANOUT") {
+	case "1":
+		return true
+	case "0":
+		return false
+	}
+	return runtime.GOMAXPROCS(0) > 1
+}
+
+// workerFor returns the destination's send-worker channel, spawning the
+// worker on first use. Loop-owned (workers map is loop state).
+func (n *Node) workerFor(to transport.NodeID) chan []*wire {
+	ch := n.workers[to]
+	if ch == nil {
+		ch = make(chan []*wire, sendWorkerQueue)
+		n.workers[to] = ch
+		n.sendWG.Add(1)
+		go n.sendWorker(to, ch)
+	}
+	return ch
+}
+
+// sendWorker drains one destination's staged frame groups: encode,
+// transmit, release pooled wires, recycle the slice. Exactly one worker
+// per destination keeps the channel's order — and so per-peer FIFO —
+// intact.
+func (n *Node) sendWorker(to transport.NodeID, ch chan []*wire) {
+	defer n.sendWG.Done()
+	for ws := range ch {
+		n.drainFrames(to, ws)
+	}
+}
+
+// drainFrames encodes and transmits one destination's staged frame group —
+// one bare frame or a coalesced tBatch — then releases the pooled wires
+// and recycles the slice. Called by send workers, or by flushOutbox
+// directly when the fan-out workers are disabled.
+func (n *Node) drainFrames(to transport.NodeID, ws []*wire) {
+	if len(ws) == 1 {
+		n.xmit(to, ws[0])
+		releaseWire(ws[0])
+	} else {
+		n.cBatchSends.Inc()
+		n.cBatchMsgs.Add(int64(len(ws)))
+		n.hBatchOcc.Observe(float64(len(ws)))
+		n.xmitBatch(to, ws)
+		for _, w := range ws {
+			releaseWire(w)
+		}
+	}
+	n.putWS(ws)
+}
+
+// stopWorkers closes every worker channel and waits for the in-flight
+// frame groups to drain. Runs before failAllPending on shutdown (defer
+// order), so workers never race a closing transport unsupervised.
+func (n *Node) stopWorkers() {
+	for _, ch := range n.workers {
+		close(ch)
+	}
+	n.sendWG.Wait()
+}
+
+// getWS draws a recycled outbox slice.
+func (n *Node) getWS() []*wire {
+	select {
+	case ws := <-n.wsFree:
+		return ws
+	default:
+		return make([]*wire, 0, 16)
+	}
+}
+
+// putWS recycles an outbox slice, dropping its wire references first.
+func (n *Node) putWS(ws []*wire) {
+	clear(ws)
+	select {
+	case n.wsFree <- ws[:0]:
+	default: // recycle ring full; let it go
+	}
 }
 
 func (n *Node) failAllPending() {
@@ -549,6 +716,8 @@ func (n *Node) dispatch(from transport.NodeID, w *wire) {
 		n.coordRequest(from, w)
 	case tOrdered:
 		n.memberOrdered(from, w)
+	case tOrderedRun:
+		n.memberOrderedRun(from, w)
 	case tAck:
 		n.coordAck(from, w)
 	case tReply:
@@ -585,11 +754,15 @@ func (n *Node) SendApp(to transport.NodeID, payload []byte) error {
 // send stages a wire message for the destination; the loop flushes the
 // outbox after each burst, coalescing same-destination messages into one
 // frame. Only loop-owned code (and pre-loop initialization) may call it.
+// A staged wire must not be mutated afterward: the send worker encodes it
+// concurrently with the loop's next burst.
 func (n *Node) send(to transport.NodeID, w *wire) {
-	if _, ok := n.outbox[to]; !ok {
+	ws, ok := n.outbox[to]
+	if !ok {
 		n.outboxOrder = append(n.outboxOrder, to)
+		ws = n.getWS()
 	}
-	n.outbox[to] = append(n.outbox[to], w)
+	n.outbox[to] = append(ws, w)
 }
 
 // xmit serializes and transmits one frame immediately.
@@ -614,6 +787,22 @@ func (n *Node) sendNow(to transport.NodeID, w *wire) error {
 	return n.ep.Send(to, buf)
 }
 
+// xmitBatch encodes a multi-message frame group as one tBatch frame
+// without materializing an intermediate tBatch wire.
+func (n *Node) xmitBatch(to transport.NodeID, ws []*wire) {
+	encStart := time.Now()
+	buf := encodeWireBatch(ws)
+	n.hStageEncode.Observe(time.Since(encStart).Seconds())
+	if h := n.hFrame[tBatch]; h != nil {
+		h.Observe(float64(len(buf)))
+	}
+	if n.owned != nil {
+		_ = n.owned.SendOwned(to, buf)
+		return
+	}
+	_ = n.ep.Send(to, buf)
+}
+
 // recomputeCoord re-derives the coordinator (lowest live node) and reacts
 // to changes: taking over, abdicating, and retransmitting pending client
 // requests to the new coordinator.
@@ -633,9 +822,23 @@ func (n *Node) recomputeCoord() {
 	n.o.Emit("coord-change", obs.KV("old", old), obs.KV("new", newCoord))
 	if newCoord == n.self {
 		n.becomeCoordinator()
-	} else if old == n.self {
-		n.cs = nil // abdicate; clients will retransmit to the new one
-		n.gCoordBacklog.Set(0)
+		// Requests that beat our own takeover (their sender's detector ran
+		// ahead of ours) were stashed; feed them through now — recovery, if
+		// any, queues them until the sequencing state is rebuilt.
+		stash := n.preCoord
+		n.preCoord = nil
+		for _, q := range stash {
+			n.coordRequest(q.from, q.w)
+		}
+	} else {
+		if old == n.self {
+			n.cs = nil // abdicate; clients will retransmit to the new one
+			n.gCoordBacklog.Set(0)
+		}
+		// The coordinatorship resolved to another node: any stashed request
+		// was sent by a client whose view will change too, and its own
+		// retransmit-on-change covers it.
+		n.preCoord = nil
 	}
 	n.retransmitPending()
 }

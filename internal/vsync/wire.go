@@ -53,7 +53,12 @@ const (
 	tApp                         // application point-to-point message
 	tRestate                     // coordinator → member: your series diverged; wipe and rejoin
 	tBatch                       // container: several messages coalesced into one frame
+	tOrderedRun                  // coordinator → members: contiguous run of sequenced data events
 )
+
+// tMaxType is the highest assigned message type; per-type tables (frame
+// histograms, validity checks) are sized by it. Keep it on the last constant.
+const tMaxType = tOrderedRun
 
 // String names the message type, for metric names and diagnostics.
 func (t msgType) String() string {
@@ -84,6 +89,8 @@ func (t msgType) String() string {
 		return "restate"
 	case tBatch:
 		return "batch"
+	case tOrderedRun:
+		return "orderedrun"
 	default:
 		return "invalid"
 	}
@@ -129,7 +136,21 @@ type wire struct {
 	// FIFO — and with it the total order of tOrdered events — is exactly
 	// what an unbatched send would have produced; only the per-frame α
 	// cost is amortized (§3.3).
+	//
+	// For tOrderedRun, Batch holds the run's data events: sub-event i is a
+	// tOrdered/evData envelope with sequence Seq+i. On the wire the run
+	// encodes the shared group and first sequence number once, then only
+	// each event's reqID/origin/trace/span/payload (codec.go) — the
+	// seq-range form of the §3.3 amortization, applied to the sequencer's
+	// own header instead of the frame header.
 	Batch []wire
+
+	// refs is sender-side state, never encoded: the number of destinations
+	// a pooled wire (coordinator runs and replies, member acks) is staged
+	// to. Each send worker decrements it after encoding; whoever reaches
+	// zero recycles the wire (releaseWire, node.go). Zero means the wire is
+	// not pooled and is left to the garbage collector.
+	refs int32
 }
 
 // syncInfo is one node's report about one group during recovery.

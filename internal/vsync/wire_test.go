@@ -37,6 +37,12 @@ func sampleWires() map[string]*wire {
 			{Type: tOrdered, Group: "g", Seq: 8, Event: evData, ReqID: 301, Origin: 3, Payload: []byte{0x0A}},
 			{Type: tAck, Group: "g", Seq: 8, ReqID: 301, Origin: 3},
 		}},
+		// Sub-events carry the decoder's derived fields (Type/Event/Group,
+		// Seq = firstSeq+i) so the encode→decode round trip is exact.
+		"orderedrun": {Type: tOrderedRun, Group: "g", Seq: 9, Event: evData, Batch: []wire{
+			{Type: tOrdered, Group: "g", Seq: 9, Event: evData, ReqID: 300, Origin: 3, Payload: []byte{0xDE, 0xAD}, Trace: 0x80, Span: 1},
+			{Type: tOrdered, Group: "g", Seq: 10, Event: evData, ReqID: 301, Origin: 4},
+		}},
 	}
 }
 
@@ -92,6 +98,7 @@ func TestWireGolden(t *testing.T) {
 		"syncinfo":     "c109020000000000000000000000020161010501620000",
 		"state":        "c107000167000000000000090000017f",
 		"batch":        "c10d000204040167ad020308000000000000010a05000167ad02030800000000000000",
+		"orderedrun":   "c10e0401670902ac020380010102deadad0204000000",
 	}
 	for name, want := range golden {
 		got := hex.EncodeToString(encodeWire(samples[name]))
