@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench doccheck chaos trace-race wire-fuzz sweep sweep-smoke sweep-check check clean
+.PHONY: build test race vet bench doccheck chaos trace-race wire-fuzz sweep sweep-smoke sweep-check sweep-classes check clean
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,26 @@ sweep-check:
 	$(GO) run ./cmd/paso-loadgen -compare-slack 4 -compare-p99-floor 50 \
 		-out /tmp/paso-sweep-check.json \
 		-compare "sweep-smoke seed" "sweep-smoke candidate"
+
+# Multi-class scaling gate (EXPERIMENTS.md, E19): two identical simnet
+# mini-sweeps into a scratch trajectory — single-class baseline, then 8
+# sharded classes with placed coordinators — and a -compare verdict. The
+# gate fails when sharding collapses the aggregate knee below the
+# single-class knee or blows a shared rung's p99 past the slack; the same
+# 4×-slack / 50ms-floor calibration as sweep-check keeps runner jitter
+# from flaking it. At these modest rates both modes must sustain every
+# rung, so the knees match and any real per-class regression surfaces.
+sweep-classes:
+	rm -f /tmp/paso-sweep-classes.json
+	$(GO) run ./cmd/paso-loadgen -transport simnet -classes 1 -sweep 200,400 \
+		-rung 500ms -sweep-min-achieved 0.8 \
+		-out /tmp/paso-sweep-classes.json -label "classes=1 baseline"
+	$(GO) run ./cmd/paso-loadgen -transport simnet -classes 8 -sweep 200,400 \
+		-rung 500ms -sweep-min-achieved 0.8 \
+		-out /tmp/paso-sweep-classes.json -label "classes=8 candidate"
+	$(GO) run ./cmd/paso-loadgen -compare-slack 4 -compare-p99-floor 50 \
+		-out /tmp/paso-sweep-classes.json \
+		-compare "classes=1 baseline" "classes=8 candidate"
 
 # Deterministic fault-injection smoke under the race detector; failures
 # replay bit-identically from the same seed (README, "Chaos testing").

@@ -13,6 +13,7 @@
 //	paso-loadgen -trace-overhead -out BENCH_paso.json
 //	paso-loadgen -sweep 500,1000,2000,4000,8000 -rung 2s -out BENCH_paso.json
 //	paso-loadgen -rate 1000 -rung 2s       # one open-loop rung
+//	paso-loadgen -classes 8 -sweep 500,1000,2000  # sharded multi-class mode
 //	paso-loadgen -compare "PR 6" "PR 7"    # diff two recorded sweep points
 //
 // With -trace-overhead the same workload runs twice — operation tracing
@@ -28,6 +29,12 @@
 // simnet runs the same sweep on the in-process simulated LAN (the CI
 // smoke path); -sweep-min-achieved fails the run (exit 1) when the first
 // rung's achieved rate falls below the given fraction of offered.
+//
+// With -classes N (> 1) the workload runs N independent object classes
+// with sharded coordinator placement (internal/placement): each class gets
+// its own vsync groups and placed coordinator, and workers pick classes
+// with a mild Zipf skew. This is the E19 multi-class scaling mode; the
+// appended point records the class count.
 //
 // With -compare <labelA> <labelB> no cluster runs at all: the newest
 // recorded sweep point under each label is loaded from the trajectory
@@ -80,6 +87,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("paso-loadgen", flag.ContinueOnError)
 	machines := fs.Int("machines", 3, "cluster size")
 	workers := fs.Int("workers", 8, "concurrent client goroutines (sweep default: 64)")
+	classes := fs.Int("classes", 0, "object classes; >1 runs the sharded multi-class mode (E19)")
 	duration := fs.Duration("duration", 2*time.Second, "measurement window (closed-loop mode)")
 	insertFrac := fs.Float64("insert-frac", 0.4, "fraction of inserts")
 	readFrac := fs.Float64("read-frac", 0.4, "fraction of reads (the rest is read&del)")
@@ -137,6 +145,7 @@ func run(args []string) error {
 		return runSweep(experiments.SweepConfig{
 			Machines:     *machines,
 			Workers:      sweepWorkers,
+			Classes:      *classes,
 			Rates:        rates,
 			RungDuration: *rung,
 			InsertFrac:   *insertFrac,
@@ -148,6 +157,7 @@ func run(args []string) error {
 		Machines:   *machines,
 		Workers:    *workers,
 		Duration:   *duration,
+		Classes:    *classes,
 		InsertFrac: *insertFrac,
 		ReadFrac:   *readFrac,
 		TraceOps:   *traceOps,

@@ -53,6 +53,16 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 		for cls, ids := range cfg.Support {
 			c.support[cls] = append([]transport.NodeID(nil), ids...)
 		}
+	} else if pol := cfg.placementPolicy(); pol != nil {
+		// Sharded mode: co-locate each class's support with its placed
+		// coordinator (the coordinator plus the next λ preferred machines).
+		all := make([]transport.NodeID, n)
+		for i := range all {
+			all[i] = transport.NodeID(i + 1)
+		}
+		for cls, members := range pol.Assign(all).Members {
+			c.support[cls] = append([]transport.NodeID(nil), members...)
+		}
 	} else {
 		classes := cfg.Classifier.Classes()
 		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })

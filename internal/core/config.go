@@ -8,6 +8,7 @@ import (
 	"paso/internal/class"
 	"paso/internal/cost"
 	"paso/internal/obs"
+	"paso/internal/placement"
 	"paso/internal/storage"
 	"paso/internal/support"
 	"paso/internal/transport"
@@ -44,6 +45,19 @@ type Config struct {
 	// UseReadGroups routes read gcasts to rg(C) ⊆ wg(C) instead of the
 	// whole write group (§4.3's read-group optimization).
 	UseReadGroups bool
+
+	// Placement enables sharded coordinator placement (PROTOCOL.md,
+	// "Sharded groups"): each class's write and read groups are sequenced
+	// by the machine the deterministic placement policy
+	// (internal/placement) maps the class to, spreading ordering load
+	// across the cluster instead of funneling every group through one
+	// global lowest-ID sequencer. Every machine derives the same placement
+	// locally from (Classifier.Classes(), Lambda) — no coordination is
+	// needed to agree on it. When set and Support is nil, basic supports
+	// B(C) are likewise taken from the placement (the coordinator plus the
+	// next λ machines in the class's preference order), so sequencing and
+	// storage co-locate.
+	Placement bool
 
 	// TraceOps mints a trace ID at every primitive's entry and propagates
 	// it through the vsync wire envelopes, so each machine records spans
@@ -118,6 +132,16 @@ func (c Config) withDefaults(n int) (Config, error) {
 		c.PollInterval = time.Millisecond
 	}
 	return c, nil
+}
+
+// placementPolicy builds the sharded-placement policy for this config, or
+// nil when placement is disabled. Policies are pure functions of
+// (class universe, λ), so independently constructed instances agree.
+func (c Config) placementPolicy() *placement.Policy {
+	if !c.Placement {
+		return nil
+	}
+	return placement.New(c.Classifier.Classes(), c.Lambda)
 }
 
 // policyFor instantiates the policy for a class, defaulting to Static.

@@ -148,7 +148,11 @@ func newMachine(id transport.NodeID, ep transport.Endpoint, cfg Config, basicCla
 		m.basic[cls] = true
 	}
 	m.srv = newServer(cfg, o, m.onUpdate, m.notifyReader)
-	m.node = vsync.NewNodeWith(ep, machineHandler{m: m}, o)
+	nodeOpts := vsync.NodeOptions{Obs: o}
+	if pol := cfg.placementPolicy(); pol != nil {
+		nodeOpts.Coord = pol.CoordFn()
+	}
+	m.node = vsync.NewNodeOpts(ep, machineHandler{m: m}, nodeOpts)
 	// Namespaced per machine so in-process clusters sharing one Obs keep
 	// every machine's collector registered (names replace on collision).
 	o.AddCollector(fmt.Sprintf("core.audit.m%d", id), m.collectAudit)

@@ -10,6 +10,7 @@ import (
 	"paso/internal/core"
 	"paso/internal/load"
 	"paso/internal/obs"
+	"paso/internal/placement"
 	"paso/internal/storage"
 	"paso/internal/transport"
 	"paso/internal/transport/tcp"
@@ -24,14 +25,21 @@ type benchCluster struct {
 	machines []*core.Machine
 }
 
-// benchConfig builds the machine config every load experiment uses: one
-// "job" class of arity 3 on a hash store, λ=1 (λ=0 for single-machine
-// clusters, which cannot replicate).
-func benchConfig(machines int) core.Config {
+// benchConfig builds the machine config every load experiment uses: λ=1
+// (λ=0 for single-machine clusters, which cannot replicate) over a hash
+// store. classes ≤ 1 keeps the historical single "job" class, so older
+// trajectory points stay comparable; classes > 1 switches to an exact
+// N-class universe with sharded coordinator placement — the multi-class
+// scaling mode (EXPERIMENTS.md, E19).
+func benchConfig(machines, classes int) core.Config {
 	cfg := core.Config{
 		Classifier: class.NewNameArity([]string{"job"}, 3),
 		Lambda:     1,
 		StoreKind:  storage.KindHash,
+	}
+	if classes > 1 {
+		cfg.Classifier = newBenchClassifier(classes)
+		cfg.Placement = true
 	}
 	if machines < 2 {
 		cfg.Lambda = 0
@@ -39,20 +47,90 @@ func benchConfig(machines int) core.Config {
 	return cfg
 }
 
+// benchClassifier is an exact-N-class classifier for the multi-class load
+// experiments: class jobK holds every tuple named "jobK", nothing else.
+// Unlike NameArity it adds no per-arity catchall classes, so the placement
+// cap ⌈N/m⌉ is computed over exactly the N classes the workload drives.
+type benchClassifier struct {
+	names   []string
+	classes []class.ID
+	index   map[string]int
+}
+
+var _ class.Classifier = (*benchClassifier)(nil)
+
+func newBenchClassifier(n int) *benchClassifier {
+	bc := &benchClassifier{
+		names:   make([]string, n),
+		classes: make([]class.ID, n),
+		index:   make(map[string]int, n),
+	}
+	for i := 0; i < n; i++ {
+		bc.names[i] = fmt.Sprintf("job%d", i)
+		bc.classes[i] = class.ID(bc.names[i])
+		bc.index[bc.names[i]] = i
+	}
+	return bc
+}
+
+// ClassOf implements class.Classifier. Unknown names fall into class 0 —
+// the bench workload never produces them.
+func (bc *benchClassifier) ClassOf(t tuple.Tuple) class.ID {
+	if i, ok := bc.index[t.Name()]; ok {
+		return bc.classes[i]
+	}
+	return bc.classes[0]
+}
+
+// SearchList implements class.Classifier: a template naming one class
+// searches only it; anything else searches every class.
+func (bc *benchClassifier) SearchList(tp tuple.Template) []class.ID {
+	if name, ok := tp.Name(); ok {
+		if i, known := bc.index[name]; known {
+			return bc.classes[i : i+1]
+		}
+	}
+	return bc.classes
+}
+
+// Classes implements class.Classifier.
+func (bc *benchClassifier) Classes() []class.ID {
+	return append([]class.ID(nil), bc.classes...)
+}
+
 // startTCPCluster stands up n machines over loopback TCP: endpoints
 // listen, full-mesh peering, failure detectors converge, then the
 // machines start concurrently as separate pasod processes would. With
 // traceOps set, each machine records spans into its own sink (capacity
-// spanCap), matching the per-process shape of a real deployment.
-func startTCPCluster(n int, o *obs.Obs, traceOps bool, spanCap int) (*benchCluster, error) {
+// spanCap), matching the per-process shape of a real deployment. classes
+// > 1 runs the sharded multi-class config with placement-derived supports.
+func startTCPCluster(n, classes int, o *obs.Obs, traceOps bool, spanCap int) (*benchCluster, error) {
 	topts := tcp.Options{
 		HeartbeatInterval: 10 * time.Millisecond,
 		FailTimeout:       500 * time.Millisecond,
 		Obs:               o,
 	}
-	mcfg := benchConfig(n)
+	mcfg := benchConfig(n, classes)
 	mcfg.Obs = o
 	basics := mcfg.Classifier.Classes()
+
+	// Sharded mode: each machine basically supports the classes placement
+	// maps to it (mirroring core.NewCluster's derivation), so supports
+	// co-locate with the placed coordinators.
+	var basicsFor map[transport.NodeID][]class.ID
+	if mcfg.Placement {
+		pol := placement.New(basics, mcfg.Lambda)
+		all := make([]transport.NodeID, n)
+		for i := range all {
+			all[i] = transport.NodeID(i + 1)
+		}
+		basicsFor = make(map[transport.NodeID][]class.ID, n)
+		for cls, members := range pol.Assign(all).Members {
+			for _, id := range members {
+				basicsFor[id] = append(basicsFor[id], cls)
+			}
+		}
+	}
 
 	bc := &benchCluster{eps: make([]*tcp.Endpoint, n)}
 	ok := false
@@ -103,7 +181,9 @@ func startTCPCluster(n int, o *obs.Obs, traceOps bool, spanCap int) (*benchClust
 		go func(i int) {
 			defer swg.Done()
 			var b []class.ID
-			if i < mcfg.Lambda+1 {
+			if basicsFor != nil {
+				b = basicsFor[transport.NodeID(i+1)]
+			} else if i < mcfg.Lambda+1 {
 				b = basics
 			}
 			c := mcfg
@@ -146,38 +226,102 @@ func (bc *benchCluster) Close() {
 // standard load mix.
 var jobTemplate = tuple.NewTemplate(tuple.Eq(tuple.String("job")), tuple.Any(tuple.KindInt))
 
-// preloadJobs seeds the space with n "job" tuples spread round-robin over
-// the machines so early reads hit.
-func preloadJobs(machines []*core.Machine, n int) error {
+// zipfS and zipfV parameterize the multi-class popularity skew: s = 1.1
+// is a mild, realistic skew (the hottest of 8 classes draws ~25% of ops)
+// that still leaves every class warm.
+const (
+	zipfS = 1.1
+	zipfV = 1.0
+)
+
+// workload is the class-aware op generator the load experiments share: one
+// name and one exact-match template per class, with a per-worker Zipf pick
+// over classes so popular classes stay hotter than the tail (a uniform mix
+// would understate per-coordinator contention).
+type benchWorkload struct {
+	names []string
+	tpls  []tuple.Template
+	zipfs []*rand.Zipf // one per worker; nil in single-class mode
+	rngs  []*rand.Rand
+}
+
+// newWorkload builds the generator for the given class count (≤ 1 keeps
+// the historical single "job" class) and worker pool.
+func newWorkload(classes, workers int, seed int64) *benchWorkload {
+	wl := &benchWorkload{rngs: make([]*rand.Rand, workers)}
+	for w := range wl.rngs {
+		wl.rngs[w] = rand.New(rand.NewSource(seed + int64(w)))
+	}
+	if classes <= 1 {
+		wl.names = []string{"job"}
+		wl.tpls = []tuple.Template{jobTemplate}
+		return wl
+	}
+	for i := 0; i < classes; i++ {
+		name := fmt.Sprintf("job%d", i)
+		wl.names = append(wl.names, name)
+		wl.tpls = append(wl.tpls, tuple.NewTemplate(
+			tuple.Eq(tuple.String(name)), tuple.Any(tuple.KindInt)))
+	}
+	wl.zipfs = make([]*rand.Zipf, workers)
+	for w := range wl.zipfs {
+		wl.zipfs[w] = rand.NewZipf(wl.rngs[w], zipfS, zipfV, uint64(classes-1))
+	}
+	return wl
+}
+
+// pick returns worker w's next class index.
+func (wl *benchWorkload) pick(w int) int {
+	if wl.zipfs == nil {
+		return 0
+	}
+	return int(wl.zipfs[w%len(wl.zipfs)].Uint64())
+}
+
+// op runs one operation of the standard mix for worker w against machine
+// m, Zipf-picking the class, and reports which kind ran.
+func (wl *benchWorkload) op(m *core.Machine, w int, seq int64, insertFrac, readFrac float64) (string, error) {
+	r := wl.rngs[w%len(wl.rngs)]
+	c := wl.pick(w)
+	switch p := r.Float64(); {
+	case p < insertFrac:
+		_, err := m.Insert(tuple.Make(tuple.String(wl.names[c]), tuple.Int(seq)))
+		return "insert", err
+	case p < insertFrac+readFrac:
+		_, _, err := m.Read(wl.tpls[c])
+		return "read", err
+	default:
+		_, _, err := m.ReadDel(wl.tpls[c])
+		return "read&del", err
+	}
+}
+
+// preloadJobs seeds the space with n tuples spread round-robin over the
+// machines and classes so early reads hit everywhere.
+func preloadJobs(machines []*core.Machine, n, classes int) error {
+	names := []string{"job"}
+	if classes > 1 {
+		names = names[:0]
+		for i := 0; i < classes; i++ {
+			names = append(names, fmt.Sprintf("job%d", i))
+		}
+	}
 	for i := 0; i < n; i++ {
 		if _, err := machines[i%len(machines)].Insert(
-			tuple.Make(tuple.String("job"), tuple.Int(int64(i)))); err != nil {
+			tuple.Make(tuple.String(names[i%len(names)]), tuple.Int(int64(i)))); err != nil {
 			return fmt.Errorf("preload: %w", err)
 		}
 	}
 	return nil
 }
 
-// opMix builds the standard insert/read/read&del operation for the load
-// generator: worker w drives machines[w mod M] with its own seeded RNG,
-// so the mix is reproducible and workers never share RNG state.
-func opMix(machines []*core.Machine, workers int, insertFrac, readFrac float64, seed int64) load.Op {
-	rngs := make([]*rand.Rand, workers)
-	for w := range rngs {
-		rngs[w] = rand.New(rand.NewSource(seed + int64(w)))
-	}
+// opMix adapts the shared workload to the open-loop generator: worker w
+// drives machines[w mod M] with its own seeded RNG, so the mix is
+// reproducible and workers never share RNG state.
+func opMix(machines []*core.Machine, workers, classes int, insertFrac, readFrac float64, seed int64) load.Op {
+	wl := newWorkload(classes, workers, seed)
 	return func(w int, seq int64) error {
-		r := rngs[w%len(rngs)]
-		m := machines[w%len(machines)]
-		var err error
-		switch p := r.Float64(); {
-		case p < insertFrac:
-			_, err = m.Insert(tuple.Make(tuple.String("job"), tuple.Int(seq)))
-		case p < insertFrac+readFrac:
-			_, _, err = m.Read(jobTemplate)
-		default:
-			_, _, err = m.ReadDel(jobTemplate)
-		}
+		_, err := wl.op(machines[w%len(machines)], w, seq, insertFrac, readFrac)
 		return err
 	}
 }

@@ -27,6 +27,11 @@ type SweepConfig struct {
 	Rates []float64
 	// RungDuration is each rung's scheduled arrival window. Default 2s.
 	RungDuration time.Duration
+	// Classes selects the multi-class sharded mode (EXPERIMENTS.md, E19):
+	// values > 1 run that many independent object classes with placed
+	// per-class coordinators and a Zipf-skewed class mix. 0 or 1 keeps the
+	// historical single-class, single-sequencer workload.
+	Classes int
 	// InsertFrac and ReadFrac set the op mix; the remainder is read&del.
 	// Defaults 0.4/0.4.
 	InsertFrac, ReadFrac float64
@@ -86,6 +91,7 @@ func (c SweepConfig) withDefaults() SweepConfig {
 type SweepResult struct {
 	Machines  int    `json:"machines"`
 	Workers   int    `json:"workers"`
+	Classes   int    `json:"classes,omitempty"`
 	Transport string `json:"transport"`
 	load.SweepResult
 }
@@ -101,14 +107,14 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	var machines []*core.Machine
 	switch cfg.Transport {
 	case "tcp":
-		bc, err := startTCPCluster(cfg.Machines, o, false, 0)
+		bc, err := startTCPCluster(cfg.Machines, cfg.Classes, o, false, 0)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 		defer bc.Close()
 		machines = bc.machines
 	case "simnet":
-		mcfg := benchConfig(cfg.Machines)
+		mcfg := benchConfig(cfg.Machines, cfg.Classes)
 		mcfg.Obs = o
 		cl, err := core.NewCluster(mcfg, cfg.Machines)
 		if err != nil {
@@ -119,11 +125,11 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	default:
 		return nil, fmt.Errorf("sweep: unknown transport %q (want tcp or simnet)", cfg.Transport)
 	}
-	if err := preloadJobs(machines, cfg.Preload); err != nil {
+	if err := preloadJobs(machines, cfg.Preload, cfg.Classes); err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
 
-	op := opMix(machines, cfg.Workers, cfg.InsertFrac, cfg.ReadFrac, cfg.Seed)
+	op := opMix(machines, cfg.Workers, cfg.Classes, cfg.InsertFrac, cfg.ReadFrac, cfg.Seed)
 	res, err := load.Sweep(load.SweepConfig{
 		Rates:        cfg.Rates,
 		RungDuration: cfg.RungDuration,
@@ -138,6 +144,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	return &SweepResult{
 		Machines:    cfg.Machines,
 		Workers:     cfg.Workers,
+		Classes:     cfg.Classes,
 		Transport:   cfg.Transport,
 		SweepResult: res,
 	}, nil
@@ -153,8 +160,12 @@ func (r *SweepResult) Table() *stats.Table {
 			stats.D(int(rg.Ops)), stats.D(int(rg.Fails)),
 			stats.F(rg.P50Ms), stats.F(rg.P90Ms), stats.F(rg.P99Ms), stats.F(rg.P999Ms))
 	}
-	tb.AddNote("machines=%d workers=%d transport=%s rungs=%d",
-		r.Machines, r.Workers, r.Transport, len(r.Rungs))
+	classes := r.Classes
+	if classes < 1 {
+		classes = 1
+	}
+	tb.AddNote("machines=%d workers=%d classes=%d transport=%s rungs=%d",
+		r.Machines, r.Workers, classes, r.Transport, len(r.Rungs))
 	if r.KneeRate > 0 {
 		tb.AddNote("knee: highest sustained rate %.0f/s", r.KneeRate)
 	} else {

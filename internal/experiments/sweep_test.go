@@ -65,3 +65,48 @@ func TestRunSweepRejectsBadTransport(t *testing.T) {
 		t.Fatal("unknown transport accepted")
 	}
 }
+
+// TestRunSweepMultiClass runs the E19 sharded mode on the simulated LAN:
+// 8 classes over 3 machines with placed per-class coordinators. Checks
+// that the Zipf-mixed workload completes failure-free and the class count
+// survives the JSON round-trip (the BENCH trajectory relies on it).
+func TestRunSweepMultiClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rung load run; skipped in -short mode")
+	}
+	res, err := RunSweep(SweepConfig{
+		Machines:     3,
+		Workers:      8,
+		Classes:      8,
+		Rates:        []float64{200, 400},
+		RungDuration: 150 * time.Millisecond,
+		Preload:      64,
+		Transport:    "simnet",
+		Obs:          obs.New(obs.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes != 8 {
+		t.Fatalf("classes = %d, want 8", res.Classes)
+	}
+	for i, rg := range res.Rungs {
+		if rg.Ops <= 0 {
+			t.Errorf("rung %d: no ops", i)
+		}
+		if rg.Fails > 0 {
+			t.Errorf("rung %d: %d failed ops", i, rg.Fails)
+		}
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Classes != 8 {
+		t.Errorf("round-trip lost classes: %+v", back)
+	}
+}

@@ -2,14 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"paso/internal/obs"
 	"paso/internal/stats"
-	"paso/internal/tuple"
 )
 
 // ThroughputConfig drives a multi-worker load run against a real TCP
@@ -28,6 +26,11 @@ type ThroughputConfig struct {
 	// TotalOps, when positive, runs exactly this many operations instead
 	// of a timed window (what testing.B needs).
 	TotalOps int
+	// Classes selects the multi-class sharded mode (EXPERIMENTS.md, E19):
+	// values > 1 run that many independent object classes with placed
+	// per-class coordinators and a Zipf-skewed class mix. 0 or 1 keeps the
+	// historical single-class, single-sequencer workload.
+	Classes int
 	// InsertFrac and ReadFrac set the op mix; the remainder is read&del.
 	// Defaults 0.4/0.4 (so 0.2 read&del).
 	InsertFrac, ReadFrac float64
@@ -94,6 +97,7 @@ type LatencySummary struct {
 type ThroughputResult struct {
 	Machines  int     `json:"machines"`
 	Workers   int     `json:"workers"`
+	Classes   int     `json:"classes,omitempty"`
 	TraceOps  bool    `json:"trace_ops,omitempty"`
 	Ops       int64   `json:"ops"`
 	Fails     int64   `json:"fails"`
@@ -136,16 +140,16 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	cfg = cfg.withDefaults()
 	o := cfg.Obs
 
-	bc, err := startTCPCluster(cfg.Machines, o, cfg.TraceOps, cfg.SpanCap)
+	bc, err := startTCPCluster(cfg.Machines, cfg.Classes, o, cfg.TraceOps, cfg.SpanCap)
 	if err != nil {
 		return nil, fmt.Errorf("throughput: %w", err)
 	}
 	defer bc.Close()
 	machines := bc.machines
-	if err := preloadJobs(machines, cfg.Preload); err != nil {
+	if err := preloadJobs(machines, cfg.Preload, cfg.Classes); err != nil {
 		return nil, fmt.Errorf("throughput: %w", err)
 	}
-	tpl := jobTemplate
+	wl := newWorkload(cfg.Classes, cfg.Workers, cfg.Seed)
 
 	hAll := o.Histogram("bench.op.latency.seconds")
 	hKind := map[string]*obs.Histogram{
@@ -170,7 +174,6 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		wwg.Add(1)
 		go func(w int) {
 			defer wwg.Done()
-			r := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			m := machines[w%len(machines)]
 			for seq := int64(0); ; seq++ {
 				if quota > 0 {
@@ -186,20 +189,8 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 					}
 					atomic.AddInt64(&ops, 1)
 				}
-				var kind string
 				begin := time.Now()
-				var err error
-				switch p := r.Float64(); {
-				case p < cfg.InsertFrac:
-					kind = "insert"
-					_, err = m.Insert(tuple.Make(tuple.String("job"), tuple.Int(seq)))
-				case p < cfg.InsertFrac+cfg.ReadFrac:
-					kind = "read"
-					_, _, err = m.Read(tpl)
-				default:
-					kind = "read&del"
-					_, _, err = m.ReadDel(tpl)
-				}
+				kind, err := wl.op(m, w, seq, cfg.InsertFrac, cfg.ReadFrac)
 				lat := time.Since(begin).Seconds()
 				hAll.Observe(lat)
 				hKind[kind].Observe(lat)
@@ -215,6 +206,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	res := &ThroughputResult{
 		Machines:  cfg.Machines,
 		Workers:   cfg.Workers,
+		Classes:   cfg.Classes,
 		TraceOps:  cfg.TraceOps,
 		Ops:       ops,
 		Fails:     fails,

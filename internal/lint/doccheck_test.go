@@ -21,7 +21,10 @@ import (
 // These are the packages whose godoc is normative: vsync implements the
 // §3 protocol (including the compact wire codec of PROTOCOL.md "Wire
 // format"), transport defines the buffer-ownership contract the codec's
-// pooling relies on, simnet and faults define the fault plane (FAULTS.md).
+// pooling relies on, simnet and faults define the fault plane (FAULTS.md),
+// and class + placement define the sharding contract (PROTOCOL.md
+// "Sharded groups"): which class a tuple falls in and which machine
+// sequences it must be readable from the doc comments alone.
 var documented = []string{
 	"../vsync",
 	"../transport",
@@ -30,6 +33,8 @@ var documented = []string{
 	"../obs",
 	"../cost",
 	"../load",
+	"../class",
+	"../placement",
 }
 
 func TestExportedDocs(t *testing.T) {

@@ -1,0 +1,232 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"paso/internal/class"
+	"paso/internal/transport"
+)
+
+func jobClasses(n int) []class.ID {
+	out := make([]class.ID, n)
+	for i := range out {
+		out[i] = class.ID(fmt.Sprintf("job%d/2", i))
+	}
+	return out
+}
+
+func machines(ids ...uint64) []transport.NodeID {
+	out := make([]transport.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = transport.NodeID(id)
+	}
+	return out
+}
+
+// Same universe and live set must yield the same assignment on every
+// machine, whatever order the inputs arrive in — the property that lets
+// every node compute placement locally with no coordination.
+func TestAssignDeterministic(t *testing.T) {
+	classes := jobClasses(12)
+	live := machines(1, 2, 3, 4)
+	base := New(classes, 1).Assign(live)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		shuffledClasses := append([]class.ID(nil), classes...)
+		rng.Shuffle(len(shuffledClasses), func(i, j int) {
+			shuffledClasses[i], shuffledClasses[j] = shuffledClasses[j], shuffledClasses[i]
+		})
+		shuffledLive := append([]transport.NodeID(nil), live...)
+		rng.Shuffle(len(shuffledLive), func(i, j int) {
+			shuffledLive[i], shuffledLive[j] = shuffledLive[j], shuffledLive[i]
+		})
+		a := New(shuffledClasses, 1).Assign(shuffledLive)
+		for _, cls := range classes {
+			if a.Coord[cls] != base.Coord[cls] {
+				t.Fatalf("trial %d: class %s coordinator %d != %d", trial, cls, a.Coord[cls], base.Coord[cls])
+			}
+			if len(a.Members[cls]) != len(base.Members[cls]) {
+				t.Fatalf("trial %d: class %s members %v != %v", trial, cls, a.Members[cls], base.Members[cls])
+			}
+			for i := range a.Members[cls] {
+				if a.Members[cls][i] != base.Members[cls][i] {
+					t.Fatalf("trial %d: class %s members %v != %v", trial, cls, a.Members[cls], base.Members[cls])
+				}
+			}
+		}
+	}
+}
+
+// The cap ⌈N/m⌉ bounds every machine's coordinator count, every class gets
+// a live coordinator, and membership is λ+1 distinct live machines with
+// the coordinator first.
+func TestAssignSpreadAndMembership(t *testing.T) {
+	for _, tc := range []struct{ n, m, lambda int }{
+		{8, 3, 1}, {12, 4, 1}, {16, 5, 2}, {100, 7, 2}, {10, 1, 1}, {3, 5, 1},
+	} {
+		classes := jobClasses(tc.n)
+		var live []transport.NodeID
+		for i := 1; i <= tc.m; i++ {
+			live = append(live, transport.NodeID(i))
+		}
+		a := New(classes, tc.lambda).Assign(live)
+		cap := (tc.n + tc.m - 1) / tc.m
+		if a.Cap != cap {
+			t.Fatalf("n=%d m=%d: Cap = %d, want %d", tc.n, tc.m, a.Cap, cap)
+		}
+		for id, count := range CoordCounts(a) {
+			if count > cap {
+				t.Errorf("n=%d m=%d: machine %d coordinates %d classes > cap %d", tc.n, tc.m, id, count, cap)
+			}
+		}
+		liveSet := make(map[transport.NodeID]bool)
+		for _, id := range live {
+			liveSet[id] = true
+		}
+		wantMembers := tc.lambda + 1
+		if wantMembers > tc.m {
+			wantMembers = tc.m
+		}
+		for _, cls := range classes {
+			coord, ok := a.Coord[cls]
+			if !ok || !liveSet[coord] {
+				t.Fatalf("n=%d m=%d: class %s has no live coordinator (%d)", tc.n, tc.m, cls, coord)
+			}
+			members := a.Members[cls]
+			if len(members) != wantMembers {
+				t.Fatalf("n=%d m=%d: class %s has %d members, want %d", tc.n, tc.m, cls, len(members), wantMembers)
+			}
+			if members[0] != coord {
+				t.Errorf("n=%d m=%d: class %s members %v do not lead with coordinator %d", tc.n, tc.m, cls, members, coord)
+			}
+			seen := make(map[transport.NodeID]bool)
+			for _, id := range members {
+				if !liveSet[id] || seen[id] {
+					t.Errorf("n=%d m=%d: class %s members %v not distinct live machines", tc.n, tc.m, cls, members)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+// A crash moves exactly the crashed machine's classes in a cascade-free
+// configuration (this one was chosen to have no cap-shift cascade; the
+// bounded-cascade caveat is PROTOCOL.md "Placement function"), and in
+// every configuration the orphans always move.
+func TestCrashMovesOnlyOrphans(t *testing.T) {
+	p := New(jobClasses(8), 1)
+	live := machines(1, 2, 3)
+	before := p.Assign(live)
+	for _, victim := range []transport.NodeID{1, 3} {
+		var after []transport.NodeID
+		for _, id := range live {
+			if id != victim {
+				after = append(after, id)
+			}
+		}
+		moved := p.MovedClasses(before, p.Assign(after))
+		for _, cls := range moved {
+			if before.Coord[cls] != victim {
+				t.Errorf("crash %d: class %s moved but its coordinator %d survived", victim, cls, before.Coord[cls])
+			}
+		}
+		orphans := 0
+		for _, cls := range p.Classes() {
+			if before.Coord[cls] == victim {
+				orphans++
+			}
+		}
+		if len(moved) != orphans {
+			t.Errorf("crash %d: %d classes moved, want exactly the %d orphans", victim, len(moved), orphans)
+		}
+	}
+}
+
+// Every orphan moves on any crash (a dead machine can never keep a class),
+// for a spread of configurations — the unconditional half of the
+// stability property.
+func TestCrashAlwaysMovesOrphans(t *testing.T) {
+	for _, n := range []int{8, 16, 48} {
+		for _, m := range []int{3, 4, 5, 8} {
+			p := New(jobClasses(n), 1)
+			var live []transport.NodeID
+			for i := 1; i <= m; i++ {
+				live = append(live, transport.NodeID(i))
+			}
+			for _, victim := range live {
+				var after []transport.NodeID
+				for _, id := range live {
+					if id != victim {
+						after = append(after, id)
+					}
+				}
+				a := p.Assign(after)
+				for _, cls := range p.Classes() {
+					if a.Coord[cls] == victim {
+						t.Fatalf("n=%d m=%d crash=%d: class %s still on dead machine", n, m, victim, cls)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A join in a cascade-free configuration moves classes only onto the
+// newcomer (rebalancing toward it, never shuffling between survivors).
+func TestJoinMovesOnlyToNewcomer(t *testing.T) {
+	p := New(jobClasses(16), 1)
+	before := p.Assign(machines(1, 2, 3, 4))
+	after := p.Assign(machines(1, 2, 3, 4, 5))
+	moved := p.MovedClasses(before, after)
+	if len(moved) == 0 {
+		t.Fatal("join moved no classes; newcomer never takes load")
+	}
+	for _, cls := range moved {
+		if after.Coord[cls] != 5 {
+			t.Errorf("join: class %s moved %d → %d, not to the newcomer", cls, before.Coord[cls], after.Coord[cls])
+		}
+	}
+}
+
+// Both groups of a class resolve to the same coordinator; unknown groups
+// fall back to uncapped rendezvous on the raw name.
+func TestGroupCoord(t *testing.T) {
+	p := New(jobClasses(8), 1)
+	live := machines(1, 2, 3)
+	a := p.Assign(live)
+	for _, cls := range p.Classes() {
+		wg := p.GroupCoord("wg/"+string(cls), live)
+		rg := p.GroupCoord("rg/"+string(cls), live)
+		if wg != rg || wg != a.Coord[cls] {
+			t.Errorf("class %s: wg→%d rg→%d assigned→%d", cls, wg, rg, a.Coord[cls])
+		}
+	}
+	own := p.GroupCoord("wg/not-in-universe/9", live)
+	if own != RendezvousOwner("wg/not-in-universe/9", live) {
+		t.Errorf("unknown class fell back to %d, want rendezvous owner", own)
+	}
+	if got := p.GroupCoord("some/other/group", live); got != RendezvousOwner("some/other/group", live) {
+		t.Errorf("non-engine group fell back to %d, want rendezvous owner", got)
+	}
+	if p.GroupCoord("wg/job0/2", nil) != 0 {
+		t.Error("empty live set should yield 0")
+	}
+}
+
+// The memo returns identical assignments for repeated live sets and does
+// not leak across distinct ones.
+func TestAssignMemo(t *testing.T) {
+	p := New(jobClasses(8), 1)
+	a1 := p.Assign(machines(1, 2, 3))
+	a2 := p.Assign(machines(3, 1, 2))
+	if a1 != a2 {
+		t.Error("same live set (reordered) should hit the memo")
+	}
+	b := p.Assign(machines(1, 2))
+	if b == a1 {
+		t.Error("different live sets must not share an assignment")
+	}
+}

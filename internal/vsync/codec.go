@@ -30,7 +30,10 @@ import (
 //	  span     uvarint
 //	  payload  uvarint len || bytes
 //	  infos    (iff flags bit1) uvarint count, then per entry:
-//	           uvarint len || name, member(1), last uvarint
+//	           uvarint len || name, eflags(1), last uvarint,
+//	           then iff eflags bit1: coordLast uvarint
+//	           (eflags: bit0 = member claim, bit1 = coordinator claim;
+//	           bits 2-7 reserved, must be zero)
 //	body (type == tBatch):
 //	  count    uvarint
 //	  count × envelope (no per-message magic; nesting forbidden)
@@ -179,12 +182,18 @@ func appendEnvelope(buf []byte, w *wire, inner bool) []byte {
 			info := w.Infos[name]
 			buf = binary.AppendUvarint(buf, uint64(len(name)))
 			buf = append(buf, name...)
-			member := byte(0)
+			eflags := byte(0)
 			if info.Member {
-				member = 1
+				eflags |= 1
 			}
-			buf = append(buf, member)
+			if info.Coord {
+				eflags |= 2
+			}
+			buf = append(buf, eflags)
 			buf = binary.AppendUvarint(buf, info.Last)
+			if info.Coord {
+				buf = binary.AppendUvarint(buf, info.CoordLast)
+			}
 		}
 	}
 	return buf
@@ -375,12 +384,20 @@ func (d *wireDecoder) decodeEnvelope(r *rbuf, w *wire, inner bool) {
 		w.Infos = make(map[string]syncInfo, n)
 		for i := uint64(0); i < n; i++ {
 			name := string(r.bytes())
-			member := r.u8() != 0
-			last := r.uvarint()
+			eflags := r.u8()
+			if eflags&^byte(3) != 0 {
+				r.fail() // reserved entry-flag bits must be zero in v1
+				return
+			}
+			info := syncInfo{Member: eflags&1 != 0, Coord: eflags&2 != 0}
+			info.Last = r.uvarint()
+			if info.Coord {
+				info.CoordLast = r.uvarint()
+			}
 			if r.err != nil {
 				return
 			}
-			w.Infos[name] = syncInfo{Member: member, Last: last}
+			w.Infos[name] = info
 		}
 	}
 }

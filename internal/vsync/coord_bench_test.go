@@ -26,11 +26,10 @@ func newBenchCoordNode() *Node {
 		cRunCasts:     o.Counter("vsync.order.run.casts"),
 		hRunOcc:       o.Histogram("vsync.order.run.occupancy"),
 	}
-	n.cs = &coordState{
-		groups: map[string]*coordGroup{
-			"bench": {name: "bench", members: []transport.NodeID{1, 2, 3}, nextSeq: 1},
-		},
-	}
+	n.cs = &coordState{groups: make(map[string]*coordGroup)}
+	g := n.newCoordGroup("bench")
+	g.members = []transport.NodeID{1, 2, 3}
+	n.cs.groups["bench"] = g
 	return n
 }
 

@@ -16,7 +16,11 @@ type coordState struct {
 	recovering bool
 	syncWait   map[transport.NodeID]bool
 	reports    map[transport.NodeID]map[string]syncInfo
-	queued     []queuedReq
+	// claims holds coordinator claims pushed with tClaim while a recovery
+	// runs (group → claimant → last assigned sequence); finishRecovery
+	// merges them with the claims embedded in the reports.
+	claims map[string]map[transport.NodeID]uint64
+	queued []queuedReq
 	// dirty lists groups with staged casts awaiting sequencing; the loop
 	// drains it once per burst (flushCoord), so every cast that arrived in
 	// the burst shares one sequence-range allocation and one fan-out run.
@@ -32,6 +36,12 @@ type coordGroup struct {
 	name    string
 	members []transport.NodeID
 	nextSeq uint64
+	// Per-group observability (resolved once at record creation): ordering
+	// latency and backlog keyed by group name, so a sharded cluster's
+	// saturation profile stays attributable per class even though many
+	// groups share one machine's aggregate stage.order histogram.
+	hOrder   *obs.Histogram
+	gBacklog *obs.Gauge
 	// pending holds response gathering per sequence number in a ring
 	// buffer keyed by seq: puts are monotonically increasing, removals
 	// advance the base past completed casts, and steady state neither
@@ -201,12 +211,12 @@ func (n *Node) becomeCoordinator() {
 			if !g.active {
 				continue
 			}
-			cs.groups[name] = &coordGroup{
-				name:    name,
-				members: []transport.NodeID{n.self},
-				nextSeq: g.last + 1,
-			}
+			cg := n.newCoordGroup(name)
+			cg.members = []transport.NodeID{n.self}
+			cg.nextSeq = g.last + 1
+			cs.groups[name] = cg
 		}
+		n.syncCoordGroups()
 		return
 	}
 	cs.recovering = true
@@ -216,13 +226,7 @@ func (n *Node) becomeCoordinator() {
 		n.send(p, &wire{Type: tSync})
 	}
 	// Record our own facts immediately.
-	own := make(map[string]syncInfo, len(n.groups))
-	for name, g := range n.groups {
-		if g.active {
-			own[name] = syncInfo{Member: true, Last: g.last}
-		}
-	}
-	cs.reports[n.self] = own
+	cs.reports[n.self] = n.ownSyncInfos()
 }
 
 // coordSyncInfo records a node's group report: during recovery it counts
@@ -265,14 +269,39 @@ func (n *Node) mergeReport(from transport.NodeID, infos map[string]syncInfo) {
 		if !info.Member {
 			continue
 		}
+		if n.coordFn != nil && n.coordOf(name) != n.self {
+			continue // another owner's group; its coordinator reconciles it
+		}
 		cg := cs.groups[name]
 		if cg == nil || len(cg.members) == 0 {
+			if n.coordFn != nil && n.recoveredEpoch != n.liveEpoch {
+				// Placed mode: an unknown group that maps to us in a view we
+				// have not recovered must go through the full quorum, not
+				// single-report adoption — other members may hold higher
+				// sequences. This reply becomes the sender's recovery report.
+				n.ensurePlacedRecovery()
+				if n.cs.recovering {
+					n.cs.reports[from] = infos
+					delete(n.cs.syncWait, from)
+					if len(n.cs.syncWait) == 0 {
+						n.finishRecovery()
+					}
+				}
+				return
+			}
 			if cg == nil {
-				cg = &coordGroup{name: name}
+				cg = n.newCoordGroup(name)
 				cs.groups[name] = cg
+				n.syncCoordGroups()
 			}
 			cg.members = []transport.NodeID{from}
 			cg.nextSeq = info.Last + 1
+			if info.Coord && info.CoordLast >= cg.nextSeq {
+				// The claimant also sequenced the group (an abdicator that
+				// was its own member): start past everything it assigned.
+				// Safe with a single member — it delivers its own tail.
+				cg.nextSeq = info.CoordLast + 1
+			}
 			continue
 		}
 		if containsID(cg.members, from) && info.Last < cg.nextSeq {
@@ -310,15 +339,31 @@ func (n *Node) evictMember(name string, g *coordGroup, id transport.NodeID) {
 
 // finishRecovery merges survivor reports into fresh sequencing state,
 // resynchronizes members that missed deliveries during the failover, and
-// replays queued requests.
+// replays queued requests. In placed mode only groups that map to this node
+// are rebuilt (each owner recovers its own), groups already under our
+// sequencing keep our authoritative record, and coordinator claims — from
+// reports and pushed tClaims — raise the rebuilt next sequence past any
+// range the previous sequencer assigned.
 func (n *Node) finishRecovery() {
 	cs := n.cs
 	cs.recovering = false
+	n.recoveredEpoch = n.liveEpoch
 	type claim struct {
 		node transport.NodeID
 		last uint64
 	}
 	byGroup := make(map[string][]claim)
+	coordLast := make(map[string]map[transport.NodeID]uint64)
+	record := func(name string, node transport.NodeID, last uint64) {
+		gm := coordLast[name]
+		if gm == nil {
+			gm = make(map[transport.NodeID]uint64)
+			coordLast[name] = gm
+		}
+		if last > gm[node] {
+			gm[node] = last
+		}
+	}
 	for node, infos := range cs.reports {
 		if !n.live[node] {
 			continue
@@ -327,10 +372,27 @@ func (n *Node) finishRecovery() {
 			if info.Member {
 				byGroup[name] = append(byGroup[name], claim{node: node, last: info.Last})
 			}
+			if info.Coord {
+				record(name, node, info.CoordLast)
+			}
 		}
 	}
+	for name, gm := range cs.claims {
+		for node, last := range gm {
+			if n.live[node] {
+				record(name, node, last)
+			}
+		}
+	}
+	cs.claims = nil
 	for name, claims := range byGroup {
-		g := &coordGroup{name: name}
+		if n.coordFn != nil && n.coordOf(name) != n.self {
+			continue // that group's owner runs its own recovery
+		}
+		if cs.groups[name] != nil {
+			continue // already sequencing it; our record is authoritative
+		}
+		g := n.newCoordGroup(name)
 		var donor transport.NodeID
 		var maxLast uint64
 		for _, c := range claims {
@@ -340,18 +402,45 @@ func (n *Node) finishRecovery() {
 				donor = c.node
 			}
 		}
-		g.nextSeq = maxLast + 1
+		// A coordinator claim counts only when the claimant is itself a live
+		// member: it alone is guaranteed to deliver its own tail, so it can
+		// donate the range (g.last, claim] to the others. A claim from a
+		// non-member is ignored safely — no live member delivered anything
+		// past maxLast, so those sequence numbers are free to reassign.
+		target := maxLast
+		for node, last := range coordLast[name] {
+			if last > target && containsID(g.members, node) {
+				target, donor = last, node
+			}
+		}
+		g.nextSeq = target + 1
 		cs.groups[name] = g
 		for _, c := range claims {
-			if c.last < maxLast {
-				n.send(donor, &wire{Type: tResync, Group: name, Subject: nid(c.node)})
+			if c.last < target {
+				// UpTo is the donation floor: the donor defers the snapshot
+				// until its own deliveries reach it (donorResync).
+				n.send(donor, &wire{Type: tResync, Group: name, Subject: nid(c.node), UpTo: target})
 			}
 		}
 	}
+	n.syncCoordGroups()
 	queued := cs.queued
 	cs.queued = nil
 	for _, q := range queued {
 		n.coordRequest(q.from, q.w)
+	}
+}
+
+// newCoordGroup allocates a coordinator record with its per-group
+// observability handles. Any abdication claim we retained for the name dies
+// here: taking (back) ownership supersedes whatever we last handed off.
+func (n *Node) newCoordGroup(name string) *coordGroup {
+	delete(n.abdicated, name)
+	return &coordGroup{
+		name:     name,
+		nextSeq:  1,
+		hOrder:   n.o.Histogram("vsync.order.seconds." + name),
+		gBacklog: n.o.Gauge("vsync.coord.backlog." + name),
 	}
 }
 
@@ -360,8 +449,9 @@ func (n *Node) finishRecovery() {
 func (n *Node) coordGroupFor(name string) *coordGroup {
 	g, ok := n.cs.groups[name]
 	if !ok {
-		g = &coordGroup{name: name, nextSeq: 1}
+		g = n.newCoordGroup(name)
 		n.cs.groups[name] = g
+		n.syncCoordGroups()
 	}
 	return g
 }
@@ -369,6 +459,10 @@ func (n *Node) coordGroupFor(name string) *coordGroup {
 // coordRequest handles a client request (cast, join, or leave) as
 // coordinator.
 func (n *Node) coordRequest(from transport.NodeID, w *wire) {
+	if n.coordFn != nil {
+		n.placedRequest(from, w)
+		return
+	}
 	cs := n.cs
 	if cs == nil {
 		// Not coordinator. The sender's failure detector may simply be
@@ -413,6 +507,7 @@ func (n *Node) coordCast(w *wire) {
 	// latency cannot hide from the coordinated-omission-safe stage clocks.
 	g.stagedAt = append(g.stagedAt, time.Now())
 	n.gCoordBacklog.Add(1)
+	g.gBacklog.Add(1)
 }
 
 // flushCoord assigns sequence ranges to every group with staged casts.
@@ -444,6 +539,7 @@ func (n *Node) sequenceStaged(g *coordGroup) {
 		for i, w := range g.staged {
 			n.sendReply(tid(w.Origin), w.ReqID, nil, true, 0)
 			n.gCoordBacklog.Add(-1)
+			g.gBacklog.Add(-1)
 			g.staged[i] = nil
 		}
 		g.staged = g.staged[:0]
@@ -617,9 +713,12 @@ func (n *Node) coordAck(from transport.NodeID, w *wire) {
 func (n *Node) finishCast(g *coordGroup, seq uint64, pc *pendingCast) {
 	g.pending.del(seq)
 	n.gCoordBacklog.Add(-1)
+	g.gBacklog.Add(-1)
 	// Order stage: staging to full ack quorum, the coordinator's share
-	// of the operation's critical path.
-	n.hStageOrder.Observe(time.Since(pc.start).Seconds())
+	// of the operation's critical path — aggregate and keyed per group.
+	elapsed := time.Since(pc.start).Seconds()
+	n.hStageOrder.Observe(elapsed)
+	g.hOrder.Observe(elapsed)
 	if pc.trace != 0 {
 		n.o.Spans().Record(obs.Span{
 			Trace: pc.trace, ID: pc.span, Parent: pc.parent,

@@ -11,9 +11,10 @@ import (
 
 // memberOrdered handles a sequenced event from the coordinator.
 func (n *Node) memberOrdered(from transport.NodeID, w *wire) {
-	if from != n.coord && from != n.self {
-		// Stale coordinator: reject. Accepting would let two sequencers
-		// assign conflicting sequence numbers during a failover window.
+	if from != n.coordOf(w.Group) && from != n.self {
+		// Stale coordinator (per group, in placed mode): reject. Accepting
+		// would let two sequencers assign conflicting sequence numbers
+		// during a failover or migration window.
 		return
 	}
 	g, ok := n.groups[w.Group]
@@ -53,17 +54,35 @@ func (n *Node) memberOrderedRun(from transport.NodeID, w *wire) {
 	}
 }
 
-// drain applies buffered events in sequence order.
+// drain applies buffered events in sequence order, then releases any
+// deferred state donations whose floor the advance satisfied.
 func (n *Node) drain(g *memberState, orderer transport.NodeID) {
 	for {
 		w, ok := g.buffer[g.last+1]
 		if !ok {
-			return
+			break
 		}
 		delete(g.buffer, g.last+1)
 		g.last++
 		n.apply(g, orderer, w)
 	}
+	if len(g.donations) > 0 && n.groups[g.name] == g {
+		n.flushDonations(g)
+	}
+}
+
+// flushDonations ships every deferred donation whose floor our deliveries
+// have reached (see donorResync) and keeps the rest pending.
+func (n *Node) flushDonations(g *memberState) {
+	kept := g.donations[:0]
+	for _, d := range g.donations {
+		if g.last >= d.floor {
+			n.sendSnapshot(g, d.to)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	g.donations = kept
 }
 
 // apply processes one in-order event on an active member.
@@ -206,7 +225,7 @@ func (n *Node) memberState_(from transport.NodeID, w *wire) {
 		return
 	}
 	g.last = w.UpTo
-	n.drain(g, n.coord)
+	n.drain(g, n.coordOf(g.name))
 }
 
 // activate completes a join: the member starts delivering from seq+1.
@@ -221,7 +240,7 @@ func (n *Node) activate(g *memberState, upTo uint64) {
 	}
 	n.h.ViewChange(g.name, append([]transport.NodeID(nil), g.members...))
 	n.resolveLocal(g.name, tJoinReq)
-	n.drain(g, n.coord)
+	n.drain(g, n.coordOf(g.name))
 }
 
 // memberRestate handles a coordinator verdict that our membership of a
@@ -229,13 +248,17 @@ func (n *Node) activate(g *memberState, upTo uint64) {
 // failure-detector flap that evicted us unseen): wipe the local state and
 // rejoin from scratch, receiving a fresh snapshot from a current member.
 func (n *Node) memberRestate(from transport.NodeID, w *wire) {
-	if from != n.coord {
-		return // only the current coordinator may restate us
+	if from != n.coordOf(w.Group) {
+		return // only the group's current coordinator may restate us
 	}
 	g, ok := n.groups[w.Group]
 	if !ok {
 		return
 	}
+	// Our old sequence series — including any coordinatorship claim we
+	// retained from it — is void; a stale claim above the fresh series
+	// would poison a later recovery.
+	delete(n.abdicated, w.Group)
 	if g.active {
 		n.h.Evict(g.name)
 	}
@@ -247,26 +270,34 @@ func (n *Node) memberRestate(from transport.NodeID, w *wire) {
 	n.startRequest(tJoinReq, w.Group, nil, make(chan Result, 1), 0, 0)
 }
 
+// maxDonations bounds the deferred-donation list per group; a recovery
+// resyncs each laggard once, so the bound is never hit in practice.
+const maxDonations = 16
+
 // donorResync handles a coordinator instruction to push state to a member
-// that missed deliveries during a failover.
+// that missed deliveries during a failover. A non-zero UpTo is the donation
+// floor: when the recovery trusted our own coordinator claim, our tail
+// deliveries may still be in flight to ourselves, so the snapshot waits
+// until our delivered sequence reaches the floor (flushDonations).
 func (n *Node) donorResync(w *wire) {
 	g, ok := n.groups[w.Group]
 	if !ok || !g.active {
 		return
 	}
+	if g.last < w.UpTo {
+		if len(g.donations) < maxDonations {
+			g.donations = append(g.donations, donation{to: tid(w.Subject), floor: w.UpTo})
+		}
+		return
+	}
 	n.sendSnapshot(g, tid(w.Subject))
 }
 
-// replySync answers a new coordinator's recovery query with this node's
-// group facts.
+// replySync answers a recovery query with this node's full claim set:
+// memberships, current coordinatorships, and retained abdication claims
+// (ownSyncInfos, placed.go).
 func (n *Node) replySync(to transport.NodeID) {
-	infos := make(map[string]syncInfo, len(n.groups))
-	for name, g := range n.groups {
-		if g.active {
-			infos[name] = syncInfo{Member: true, Last: g.last}
-		}
-	}
-	n.send(to, &wire{Type: tSyncInfo, Infos: infos})
+	n.send(to, &wire{Type: tSyncInfo, Infos: n.ownSyncInfos()})
 }
 
 // memberNodeDown reacts to a crash notification: a joiner waiting on a
@@ -277,7 +308,7 @@ func (n *Node) memberNodeDown(dead transport.NodeID) {
 			g.donor = 0
 			for id, p := range n.pending {
 				if p.group == name && p.w.Type == tJoinReq {
-					n.send(n.coord, n.pending[id].w)
+					n.send(n.coordOf(name), n.pending[id].w)
 				}
 			}
 		}

@@ -89,6 +89,20 @@ type Node struct {
 	pending map[uint64]*pendingReq
 	groups  map[string]*memberState
 	cs      *coordState // non-nil while this node is coordinator
+	// Placed (sharded) mode, active when coordFn is non-nil: per-group
+	// coordinators are derived from the live set instead of one global
+	// lowest-ID sequencer. coordCache memoizes coordFn per group and is
+	// invalidated on every membership edge; liveSorted is the derivation
+	// input; liveEpoch counts edges and recoveredEpoch marks the last epoch
+	// a full takeover recovery completed in (placed.go); abdicated retains
+	// this node's final sequence claims for groups it handed off, reported
+	// during other owners' recoveries so sequence ranges survive the move.
+	coordFn        CoordFn
+	coordCache     map[string]transport.NodeID
+	liveSorted     []transport.NodeID
+	liveEpoch      uint64
+	recoveredEpoch uint64
+	abdicated      map[string]uint64
 	// preCoord stashes client requests that arrived while this node was
 	// not (yet) coordinator. A client whose failure detector runs ahead of
 	// ours sends here before we have processed the old coordinator's death;
@@ -141,6 +155,7 @@ type Node struct {
 	hStageDeliver *obs.Histogram
 	hStageOrder   *obs.Histogram
 	gCoordBacklog *obs.Gauge
+	gCoordGroups  *obs.Gauge
 	// Batched-ordering counters: runs emitted, casts they carried, and
 	// the per-run occupancy distribution (casts per seq range).
 	cRunSends *obs.Counter
@@ -205,6 +220,33 @@ type memberState struct {
 	donor     transport.NodeID // awaited state donor while inactive
 	buffer    map[uint64]*wire // out-of-order / pre-activation ordered events
 	delivered map[uint64][]deliveredEntry
+	donations []donation // resyncs deferred until our deliveries reach a floor
+}
+
+// donation is a deferred state donation: a recovery named us donor but our
+// own delivered sequence had not yet reached the rebuilt series' floor
+// (donorResync, flushDonations).
+type donation struct {
+	to    transport.NodeID
+	floor uint64
+}
+
+// CoordFn derives the coordinator of a group from the observer's live
+// machine set (PROTOCOL.md, "Sharded groups"). It must be a pure function
+// of its arguments — every node with the same live view has to compute the
+// same owner — and must be safe for concurrent use (every node's event loop
+// calls the shared function). internal/placement provides the engine's
+// implementation; a nil CoordFn keeps the default single global sequencer.
+type CoordFn func(group string, live []transport.NodeID) transport.NodeID
+
+// NodeOptions configures optional node behavior for NewNodeOpts.
+type NodeOptions struct {
+	// Obs is the observability sink; nil records into a throwaway sink.
+	Obs *obs.Obs
+	// Coord, when non-nil, switches the node to placed (sharded) mode:
+	// each group's sequencer is derived per group by this function instead
+	// of defaulting to the lowest-ID live node for everything.
+	Coord CoordFn
 }
 
 // NewNode attaches a node to the group layer and starts its event loop.
@@ -217,6 +259,12 @@ func NewNode(ep transport.Endpoint, h Handler) *Node {
 // latencies, view-change and coordinator-change events, and state-transfer
 // bytes are recorded there. A nil Obs records into a throwaway sink.
 func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
+	return NewNodeOpts(ep, h, NodeOptions{Obs: o})
+}
+
+// NewNodeOpts is the full constructor: NewNodeWith plus the placement hook.
+func NewNodeOpts(ep transport.Endpoint, h Handler, opts NodeOptions) *Node {
+	o := opts.Obs
 	if o == nil {
 		o = obs.Nop()
 	}
@@ -227,12 +275,14 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 		cmds:    make(chan func()),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
-		live:    make(map[transport.NodeID]bool),
-		pending: make(map[uint64]*pendingReq),
-		groups:  make(map[string]*memberState),
-		outbox:  make(map[transport.NodeID][]*wire),
-		workers: make(map[transport.NodeID]chan []*wire),
-		wsFree:  make(chan []*wire, 64),
+		live:      make(map[transport.NodeID]bool),
+		pending:   make(map[uint64]*pendingReq),
+		groups:    make(map[string]*memberState),
+		coordFn:   opts.Coord,
+		abdicated: make(map[string]uint64),
+		outbox:    make(map[transport.NodeID][]*wire),
+		workers:   make(map[transport.NodeID]chan []*wire),
+		wsFree:    make(chan []*wire, 64),
 
 		o:           o,
 		cGcast:      o.Counter("vsync.gcast.total"),
@@ -252,6 +302,7 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 		hStageDeliver: o.Histogram(obs.StageDeliver),
 		hStageOrder:   o.Histogram(obs.StageOrder),
 		gCoordBacklog: o.Gauge("vsync.coord.backlog"),
+		gCoordGroups:  o.Gauge("vsync.coord.groups"),
 		cRunSends:     o.Counter("vsync.order.runs"),
 		cRunCasts:     o.Counter("vsync.order.run.casts"),
 		hRunOcc:       o.Histogram("vsync.order.run.occupancy"),
@@ -270,11 +321,14 @@ func NewNodeWith(ep transport.Endpoint, h Handler, o *obs.Obs) *Node {
 	if _, err := cryptorand.Read(seed[:]); err == nil {
 		n.reqSeq = binary.LittleEndian.Uint64(seed[:])
 	}
+	if n.coordFn != nil {
+		n.coordCache = make(map[string]transport.NodeID)
+	}
 	for _, id := range ep.Alive() {
 		n.live[id] = true
 	}
 	n.live[n.self] = true
-	n.recomputeCoord()
+	n.liveChanged()
 	go n.loop()
 	return n
 }
@@ -671,7 +725,7 @@ func (n *Node) handleItem(it transport.Item) {
 	switch it.Kind {
 	case transport.KindUp:
 		n.live[it.From] = true
-		n.recomputeCoord()
+		n.liveChanged()
 		if n.cs != nil && it.From != n.self {
 			// Interrogate the newcomer: it may carry group memberships
 			// from a time we could not see it — a bootstrap where every
@@ -694,7 +748,7 @@ func (n *Node) handleItem(it transport.Item) {
 		// retransmissions into double deliveries. Cross-incarnation ID
 		// collisions are prevented by the randomized request-ID start
 		// instead, and the per-origin cache is bounded.
-		n.recomputeCoord()
+		n.liveChanged()
 	case transport.KindMsg:
 		w, err := n.dec.decode(it.Payload)
 		if err != nil {
@@ -732,6 +786,8 @@ func (n *Node) dispatch(from transport.NodeID, w *wire) {
 		n.donorResync(w)
 	case tRestate:
 		n.memberRestate(from, w)
+	case tClaim:
+		n.coordClaim(from, w)
 	case tApp:
 		n.h.AppMessage(from, w.Payload)
 	case tBatch:
@@ -803,9 +859,54 @@ func (n *Node) xmitBatch(to transport.NodeID, ws []*wire) {
 	_ = n.ep.Send(to, buf)
 }
 
+// liveChanged reacts to any membership edge (including the constructor's
+// initial view). Legacy mode re-derives the single global coordinator; in
+// placed mode the per-group coordinator cache is rebuilt for the new epoch
+// and placement moves are carried out (refreshPlacement, placed.go).
+func (n *Node) liveChanged() {
+	if n.coordFn == nil {
+		n.recomputeCoord()
+		return
+	}
+	n.liveEpoch++
+	prev := n.coordCache
+	n.coordCache = make(map[string]transport.NodeID, len(prev)+1)
+	n.liveSorted = n.liveSorted[:0]
+	low := n.self
+	for id := range n.live {
+		n.liveSorted = append(n.liveSorted, id)
+		if id < low {
+			low = id
+		}
+	}
+	sort.Slice(n.liveSorted, func(i, j int) bool { return n.liveSorted[i] < n.liveSorted[j] })
+	// n.coord stays the lowest live node even in placed mode: it is the
+	// fallback owner for a group the placement function cannot place.
+	n.coord = low
+	n.refreshPlacement(prev)
+}
+
+// coordOf resolves the coordinator of one group under this node's current
+// view: the global coordinator in legacy mode, the placement function's
+// answer (memoized per membership epoch) in placed mode.
+func (n *Node) coordOf(group string) transport.NodeID {
+	if n.coordFn == nil {
+		return n.coord
+	}
+	if c, ok := n.coordCache[group]; ok {
+		return c
+	}
+	c := n.coordFn(group, n.liveSorted)
+	if c == 0 {
+		c = n.coord // defensive: never route to the zero node
+	}
+	n.coordCache[group] = c
+	return c
+}
+
 // recomputeCoord re-derives the coordinator (lowest live node) and reacts
 // to changes: taking over, abdicating, and retransmitting pending client
-// requests to the new coordinator.
+// requests to the new coordinator. Legacy (single-sequencer) mode only.
 func (n *Node) recomputeCoord() {
 	newCoord := n.self
 	for id := range n.live {
@@ -832,8 +933,18 @@ func (n *Node) recomputeCoord() {
 		}
 	} else {
 		if old == n.self {
-			n.cs = nil // abdicate; clients will retransmit to the new one
+			// Abdicate; clients will retransmit to the new coordinator.
+			// Retain our final sequence claims first: our recovery reply to
+			// the successor carries them, so the new sequencer starts past
+			// any range we assigned (syncInfo.CoordLast).
+			if n.cs != nil {
+				for name, g := range n.cs.groups {
+					n.abdicated[name] = g.nextSeq - 1
+				}
+			}
+			n.cs = nil
 			n.gCoordBacklog.Set(0)
+			n.gCoordGroups.Set(0)
 		}
 		// The coordinatorship resolved to another node: any stashed request
 		// was sent by a client whose view will change too, and its own
@@ -843,13 +954,13 @@ func (n *Node) recomputeCoord() {
 	n.retransmitPending()
 }
 
-// retransmitPending resends every unresolved client request to the current
-// coordinator. Duplicate orderings are suppressed at delivery time. Traced
-// requests are marked so their span shows the failover.
+// retransmitPending resends every unresolved client request to its group's
+// current coordinator. Duplicate orderings are suppressed at delivery time.
+// Traced requests are marked so their span shows the failover.
 func (n *Node) retransmitPending() {
 	for _, p := range n.pending {
 		p.retransmitted = true
-		n.send(n.coord, p.w)
+		n.send(n.coordOf(p.group), p.w)
 	}
 }
 
@@ -877,12 +988,16 @@ func (n *Node) startRequest(t msgType, group string, payload []byte, ch chan Res
 	n.pending[w.ReqID] = p
 	if t == tJoinReq {
 		// Pre-create the member record so ordered events can be buffered
-		// before activation.
+		// before activation. Joining also accepts the group's current
+		// sequence series, so any abdication claim we retained for it from
+		// an earlier coordinatorship is obsolete (a stale claim above the
+		// live series would poison a later recovery).
+		delete(n.abdicated, group)
 		if _, exists := n.groups[group]; !exists {
 			n.groups[group] = newMemberState(group)
 		}
 	}
-	n.send(n.coord, w)
+	n.send(n.coordOf(group), w)
 }
 
 // clientReply resolves a pending request from a coordinator reply.

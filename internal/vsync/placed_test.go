@@ -1,0 +1,262 @@
+package vsync
+
+import (
+	"fmt"
+	"testing"
+
+	"paso/internal/class"
+	"paso/internal/cost"
+	"paso/internal/placement"
+	"paso/internal/simnet"
+	"paso/internal/transport"
+)
+
+// Placed-mode integration tests: nodes share a placement.Policy CoordFn, so
+// each group is sequenced by its placed owner instead of the single lowest
+// live ID (PROTOCOL.md, "Sharded groups").
+
+func testClasses(n int) []class.ID {
+	cs := make([]class.ID, n)
+	for i := range cs {
+		cs[i] = class.ID(fmt.Sprintf("c%d", i))
+	}
+	return cs
+}
+
+func wgOf(cls class.ID) string { return "wg/" + string(cls) }
+
+// newPlacedHarness builds a harness whose nodes run placed mode over the
+// given class universe with λ = 1.
+func newPlacedHarness(t *testing.T, classes []class.ID, ids ...transport.NodeID) (*harness, *placement.Policy) {
+	t.Helper()
+	pol := placement.New(classes, 1)
+	h := &harness{
+		t:       t,
+		net:     simnet.New(cost.DefaultModel()),
+		eps:     make(map[transport.NodeID]*simnet.Endpoint),
+		nds:     make(map[transport.NodeID]*Node),
+		hs:      make(map[transport.NodeID]*testHandler),
+		coordFn: pol.CoordFn(),
+	}
+	for _, id := range ids {
+		h.start(id)
+	}
+	t.Cleanup(func() {
+		for _, nd := range h.nds {
+			nd.Close()
+		}
+	})
+	return h, pol
+}
+
+// joinAll joins every node to every class's wg group.
+func joinAll(t *testing.T, h *harness, classes []class.ID, ids ...transport.NodeID) {
+	t.Helper()
+	for _, id := range ids {
+		for _, cls := range classes {
+			if err := h.nds[id].Join(wgOf(cls)); err != nil {
+				t.Fatalf("node %d join %s: %v", id, cls, err)
+			}
+		}
+	}
+}
+
+// logsConverge waits until every listed node's log for every group reaches
+// want entries, then asserts the logs are identical (total order) and free
+// of duplicates.
+func logsConverge(t *testing.T, h *harness, classes []class.ID, want int, ids ...transport.NodeID) {
+	t.Helper()
+	waitFor(t, "logs to converge", func() bool {
+		for _, id := range ids {
+			for _, cls := range classes {
+				if len(h.hs[id].log(wgOf(cls))) < want {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for _, cls := range classes {
+		ref := h.hs[ids[0]].log(wgOf(cls))
+		if len(ref) != want {
+			t.Fatalf("%s: node %d delivered %d messages, want %d: %v", cls, ids[0], len(ref), want, ref)
+		}
+		seen := make(map[string]bool, len(ref))
+		for _, m := range ref {
+			if seen[m] {
+				t.Fatalf("%s: duplicate delivery %q in %v", cls, m, ref)
+			}
+			seen[m] = true
+		}
+		for _, id := range ids[1:] {
+			got := h.hs[id].log(wgOf(cls))
+			if len(got) != len(ref) {
+				t.Fatalf("%s: node %d delivered %d messages, node %d delivered %d", cls, id, len(got), ids[0], len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s: node %d log %v, node %d log %v", cls, id, got, ids[0], ref)
+				}
+			}
+		}
+	}
+}
+
+// TestPlacedSpreadAndTotalOrder checks the tentpole's two core properties
+// together: coordinator load spreads under the placement cap, and every
+// group still delivers one total order with casts arriving from every node.
+func TestPlacedSpreadAndTotalOrder(t *testing.T) {
+	classes := testClasses(9)
+	ids := []transport.NodeID{1, 2, 3}
+	h, pol := newPlacedHarness(t, classes, ids...)
+	joinAll(t, h, classes, ids...)
+
+	asn := pol.Assign(ids)
+	counts := make(map[transport.NodeID]int)
+	for _, owner := range asn.Coord {
+		counts[owner]++
+	}
+	for _, id := range ids {
+		if counts[id] == 0 || counts[id] > asn.Cap {
+			t.Fatalf("degenerate spread: node %d owns %d of %d classes (cap %d)", id, counts[id], len(classes), asn.Cap)
+		}
+	}
+
+	const perGroup = 6
+	for i := 0; i < perGroup; i++ {
+		for _, cls := range classes {
+			sender := ids[i%len(ids)]
+			res, err := h.nds[sender].Gcast(wgOf(cls), []byte(fmt.Sprintf("%s-m%d", cls, i)))
+			if err != nil || res.Fail {
+				t.Fatalf("gcast %s #%d from %d: %v %+v", cls, i, sender, err, res)
+			}
+		}
+	}
+	logsConverge(t, h, classes, perGroup, ids...)
+}
+
+// TestPlacedCoordinatorCrashIsolatesClasses is the churn property the
+// sharding exists for: when one class's coordinator dies, other classes
+// keep sequencing undisturbed, and the orphaned class recovers on its new
+// owner without losing acknowledged casts.
+func TestPlacedCoordinatorCrashIsolatesClasses(t *testing.T) {
+	classes := testClasses(6)
+	ids := []transport.NodeID{1, 2, 3}
+	h, pol := newPlacedHarness(t, classes, ids...)
+	joinAll(t, h, classes, ids...)
+
+	for _, cls := range classes {
+		if res, err := h.nds[2].Gcast(wgOf(cls), []byte(string(cls)+"-pre")); err != nil || res.Fail {
+			t.Fatalf("baseline gcast %s: %v %+v", cls, err, res)
+		}
+	}
+
+	asn := pol.Assign(ids)
+	victim := asn.Coord[classes[0]]
+	var survivors []transport.NodeID
+	for _, id := range ids {
+		if id != victim {
+			survivors = append(survivors, id)
+		}
+	}
+	h.crash(victim)
+
+	// Every class — the orphaned ones included — must accept new casts from
+	// the survivors; orphans go through a takeover recovery first.
+	for _, cls := range classes {
+		res, err := h.nds[survivors[0]].Gcast(wgOf(cls), []byte(string(cls)+"-post"))
+		if err != nil || res.Fail {
+			t.Fatalf("post-crash gcast %s: %v %+v", cls, err, res)
+		}
+	}
+	logsConverge(t, h, classes, 2, survivors...)
+	for _, cls := range classes {
+		log := h.hs[survivors[0]].log(wgOf(cls))
+		if log[0] != string(cls)+"-pre" || log[1] != string(cls)+"-post" {
+			t.Fatalf("%s: acked cast lost or reordered: %v", cls, log)
+		}
+	}
+}
+
+// TestPlacedJoinRebalance starts a third machine after traffic exists: only
+// the classes the policy moves change owner, the moved groups keep serving
+// casts through the handoff, and no acknowledged cast is lost or replayed.
+func TestPlacedJoinRebalance(t *testing.T) {
+	classes := testClasses(8)
+	members := []transport.NodeID{1, 2}
+	h, pol := newPlacedHarness(t, classes, members...)
+	joinAll(t, h, classes, members...)
+
+	for _, cls := range classes {
+		if res, err := h.nds[1].Gcast(wgOf(cls), []byte(string(cls)+"-pre")); err != nil || res.Fail {
+			t.Fatalf("baseline gcast %s: %v %+v", cls, err, res)
+		}
+	}
+
+	before := pol.Assign(members)
+	h.start(3)
+	after := pol.Assign([]transport.NodeID{1, 2, 3})
+	moved := pol.MovedClasses(before, after)
+	if len(moved) == 0 {
+		t.Fatal("no classes moved to the new machine; spread cap broken")
+	}
+	for _, cls := range moved {
+		if after.Coord[cls] != 3 {
+			t.Fatalf("class %s moved to %d, not the newcomer", cls, after.Coord[cls])
+		}
+	}
+
+	// The newcomer owns moved groups it has never seen: member nudges force
+	// it through a recovery before it sequences, so the series continues.
+	for _, cls := range classes {
+		res, err := h.nds[2].Gcast(wgOf(cls), []byte(string(cls)+"-post"))
+		if err != nil || res.Fail {
+			t.Fatalf("post-join gcast %s: %v %+v", cls, err, res)
+		}
+	}
+	logsConverge(t, h, classes, 2, members...)
+	for _, cls := range classes {
+		log := h.hs[1].log(wgOf(cls))
+		if log[0] != string(cls)+"-pre" || log[1] != string(cls)+"-post" {
+			t.Fatalf("%s: handoff lost or reordered a cast: %v", cls, log)
+		}
+	}
+}
+
+// TestPlacedOwnerCrashKeepsSeries hammers one group across an owner crash:
+// the rebuilt sequence series continues past every acknowledged cast, so
+// survivors deliver one gap-free, duplicate-free total order.
+func TestPlacedOwnerCrashKeepsSeries(t *testing.T) {
+	classes := testClasses(1)
+	ids := []transport.NodeID{1, 2, 3}
+	h, pol := newPlacedHarness(t, classes, ids...)
+	joinAll(t, h, classes, ids...)
+
+	owner := pol.Assign(ids).Coord[classes[0]]
+	var survivors []transport.NodeID
+	for _, id := range ids {
+		if id != owner {
+			survivors = append(survivors, id)
+		}
+	}
+	g := wgOf(classes[0])
+	for i := 0; i < 10; i++ {
+		if res, err := h.nds[survivors[0]].Gcast(g, []byte(fmt.Sprintf("m%02d", i))); err != nil || res.Fail {
+			t.Fatalf("gcast %d: %v %+v", i, err, res)
+		}
+	}
+	h.crash(owner)
+	for i := 10; i < 20; i++ {
+		sender := survivors[i%len(survivors)]
+		if res, err := h.nds[sender].Gcast(g, []byte(fmt.Sprintf("m%02d", i))); err != nil || res.Fail {
+			t.Fatalf("gcast %d after crash: %v %+v", i, err, res)
+		}
+	}
+	logsConverge(t, h, classes, 20, survivors...)
+	log := h.hs[survivors[0]].log(g)
+	for i, m := range log {
+		if m != fmt.Sprintf("m%02d", i) {
+			t.Fatalf("series broke at %d: %v", i, log)
+		}
+	}
+}

@@ -83,13 +83,15 @@ func (h *testHandler) log(group string) []string {
 	return append([]string(nil), h.state[group]...)
 }
 
-// harness bundles a simnet with nodes and handlers.
+// harness bundles a simnet with nodes and handlers. A non-nil coordFn makes
+// started nodes run in placed (sharded) mode.
 type harness struct {
-	t   *testing.T
-	net *simnet.Net
-	eps map[transport.NodeID]*simnet.Endpoint
-	nds map[transport.NodeID]*Node
-	hs  map[transport.NodeID]*testHandler
+	t       *testing.T
+	net     *simnet.Net
+	eps     map[transport.NodeID]*simnet.Endpoint
+	nds     map[transport.NodeID]*Node
+	hs      map[transport.NodeID]*testHandler
+	coordFn CoordFn
 }
 
 func newHarness(t *testing.T, ids ...transport.NodeID) *harness {
@@ -119,7 +121,7 @@ func (h *harness) start(id transport.NodeID) *Node {
 		h.t.Fatal(err)
 	}
 	th := newTestHandler()
-	nd := NewNode(ep, th)
+	nd := NewNodeOpts(ep, th, NodeOptions{Coord: h.coordFn})
 	h.eps[id] = ep
 	h.nds[id] = nd
 	h.hs[id] = th

@@ -14,10 +14,15 @@
 //     messages until the snapshot is installed;
 //   - a crashed member is evicted from all its groups by an ordered event.
 //
-// The implementation elects the lowest-ID live node as the system-wide
-// sequencer ("coordinator"). Ordering state lost in a coordinator crash is
-// rebuilt by querying survivors; members that missed deliveries during the
-// failover window are resynchronized by state transfer. Duplicate
+// Each group has one coordinator that sequences it. In the default
+// configuration the coordinator of every group is the lowest-ID live node —
+// one system-wide sequencer. With a placement function installed
+// (NodeOptions.Coord; see PROTOCOL.md "Sharded groups"), each group's
+// coordinator is instead derived per group from the observer's live set, so
+// independent groups sequence on different machines concurrently. Ordering
+// state lost when a coordinator crashes (or, in placed mode, when a group
+// migrates) is rebuilt by querying survivors; members that missed deliveries
+// during the failover window are resynchronized by state transfer. Duplicate
 // suppression uses per-origin request IDs, so client retransmission after a
 // coordinator change is safe.
 //
@@ -54,11 +59,12 @@ const (
 	tRestate                     // coordinator → member: your series diverged; wipe and rejoin
 	tBatch                       // container: several messages coalesced into one frame
 	tOrderedRun                  // coordinator → members: contiguous run of sequenced data events
+	tClaim                       // node → group owner: unsolicited placement claim (member nudge or abdication handoff)
 )
 
 // tMaxType is the highest assigned message type; per-type tables (frame
 // histograms, validity checks) are sized by it. Keep it on the last constant.
-const tMaxType = tOrderedRun
+const tMaxType = tClaim
 
 // String names the message type, for metric names and diagnostics.
 func (t msgType) String() string {
@@ -91,6 +97,8 @@ func (t msgType) String() string {
 		return "batch"
 	case tOrderedRun:
 		return "orderedrun"
+	case tClaim:
+		return "claim"
 	default:
 		return "invalid"
 	}
@@ -153,10 +161,17 @@ type wire struct {
 	refs int32
 }
 
-// syncInfo is one node's report about one group during recovery.
+// syncInfo is one node's report about one group: its membership facts
+// (tSyncInfo recovery replies) and, in placed mode, its coordinator claim —
+// the last sequence number it assigned for the group, reported by current
+// and recently abdicated coordinators so a takeover never reuses or skips a
+// sequence range the old sequencer handed out (PROTOCOL.md, "Sharded
+// groups").
 type syncInfo struct {
-	Member bool
-	Last   uint64 // highest delivered sequence number
+	Member    bool
+	Last      uint64 // highest delivered sequence number
+	Coord     bool   // sender holds (or last held) the group's sequencer
+	CoordLast uint64 // last sequence the sender assigned as coordinator
 }
 
 // snapshotEnvelope is what a donor actually ships: the application state

@@ -29,7 +29,8 @@ func sampleWires() map[string]*wire {
 		"reply":        {Type: tReply, ReqID: 300, Size: 2, Payload: []byte{0x01}},
 		"state":        {Type: tState, Group: "g", UpTo: 9, Payload: []byte{0x7F}},
 		"sync":         {Type: tSync},
-		"syncinfo":     {Type: tSyncInfo, Infos: map[string]syncInfo{"b": {}, "a": {Member: true, Last: 5}}},
+		"syncinfo":     {Type: tSyncInfo, Infos: map[string]syncInfo{"b": {}, "a": {Member: true, Last: 5}, "c": {Member: true, Last: 9, Coord: true, CoordLast: 12}}},
+		"claim":        {Type: tClaim, Infos: map[string]syncInfo{"g": {Coord: true, CoordLast: 7}}},
 		"resync":       {Type: tResync, Group: "g", Subject: 4},
 		"app":          {Type: tApp, Payload: []byte("hello")},
 		"restate":      {Type: tRestate, Group: "g"},
@@ -95,7 +96,8 @@ func TestWireGolden(t *testing.T) {
 		"ack-fail":     "c105010167ac02030700000000000000",
 		"reply":        "c1060000ac0200000000020000000101",
 		"join-ordered": "c104080167000001020100000000020102",
-		"syncinfo":     "c109020000000000000000000000020161010501620000",
+		"syncinfo":     "c109020000000000000000000000030161010501620000016303090c",
+		"claim":        "c10f020000000000000000000000010167020007",
 		"state":        "c107000167000000000000090000017f",
 		"batch":        "c10d000204040167ad020308000000000000010a05000167ad02030800000000000000",
 		"orderedrun":   "c10e0401670902ac020380010102deadad0204000000",
