@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench doccheck chaos trace-race wire-fuzz sweep sweep-smoke sweep-check sweep-classes check clean
+.PHONY: build test race vet bench doccheck chaos flight-smoke trace-race wire-fuzz sweep sweep-smoke sweep-check sweep-classes check clean
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,18 @@ sweep-classes:
 chaos:
 	$(GO) run -race ./cmd/paso-chaos -scenario rolling-crash -seed 42
 	$(GO) run -race ./cmd/paso-chaos -scenario flapping-partition -seed 7
+
+# Flight-recorder smoke: the slow-coordinator scenario with the recorder
+# armed must leave at least one diagnostic bundle whose manifest carries a
+# non-empty ownership timeline and a fingerprint (README, "Flight
+# recorder"). The jq-free assertion keeps it dependency-light.
+flight-smoke:
+	rm -rf /tmp/paso-flight-smoke
+	$(GO) run ./cmd/paso-chaos -scenario slow-coordinator -seed 42 -flight /tmp/paso-flight-smoke
+	@ls /tmp/paso-flight-smoke | grep -q '^b' || { echo "flight-smoke: no bundle captured" >&2; exit 1; }
+	@grep -q '"ownership"' /tmp/paso-flight-smoke/*/manifest.json || { echo "flight-smoke: bundle has empty ownership timeline" >&2; exit 1; }
+	@grep -q '"fingerprint"' /tmp/paso-flight-smoke/*/manifest.json || { echo "flight-smoke: bundle manifest has no fingerprint" >&2; exit 1; }
+	@echo "flight-smoke: OK ($$(ls /tmp/paso-flight-smoke | wc -l) bundle(s))"
 
 check: build vet test race doccheck
 

@@ -21,6 +21,13 @@
 // given file, with spans lost to injected faults called out as explicit
 // GAP annotations. Trace timelines carry wall-clock offsets and, like the
 // -log event dump, are not part of the deterministic stdout surface.
+//
+// With -flight, a flight recorder is armed over the run: the default
+// trigger rules watch the cluster's merged metrics and a final bundle is
+// force-captured at scenario end, so every chaos run leaves at least one
+// postmortem artifact (README, "Flight recorder"). The bundle inventory is
+// printed to stderr — bundles carry wall-clock data and stay off the
+// deterministic stdout surface.
 package main
 
 import (
@@ -57,6 +64,7 @@ func run(args []string, out io.Writer) (int, error) {
 		lambda   = fs.Int("lambda", 0, "crash tolerance λ (0 = scenario default)")
 		logPath  = fs.String("log", "", "write the obs event log (JSON lines, wall-clock order) to this file")
 		trPath   = fs.String("traces", "", "trace every probe op and write the assembled timelines to this file")
+		flight   = fs.String("flight", "", "arm a flight recorder and write diagnostic bundles into this directory")
 		list     = fs.Bool("list", false, "list scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,9 +85,19 @@ func run(args []string, out io.Writer) (int, error) {
 		return 2, err
 	}
 	o := obs.New(obs.Options{TraceCap: 65536, SpanCap: 65536})
-	res, err := faults.Run(sc, faults.RunOptions{Out: out, Obs: o, Trace: *trPath != ""})
+	res, err := faults.Run(sc, faults.RunOptions{
+		Out: out, Obs: o, Trace: *trPath != "", FlightDir: *flight,
+	})
 	if err != nil {
 		return 2, err
+	}
+	if *flight != "" {
+		// Bundle inventory goes to stderr: bundle contents are wall-clock
+		// data, and stdout must stay the deterministic report surface.
+		fmt.Fprintf(os.Stderr, "flight: %d bundle(s) in %s\n", len(res.Bundles), *flight)
+		for _, id := range res.Bundles {
+			fmt.Fprintf(os.Stderr, "flight: %s\n", id)
+		}
 	}
 	if *logPath != "" {
 		if werr := writeEventLog(*logPath, o); werr != nil {

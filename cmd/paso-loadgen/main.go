@@ -36,6 +36,12 @@
 // with a mild Zipf skew. This is the E19 multi-class scaling mode; the
 // appended point records the class count.
 //
+// With -sample-interval (> 0) a flight time-series sampler (the ring
+// behind pasod's /timeseries endpoint) runs over the sweep cluster's
+// registry for the whole run. Two otherwise identical sweeps — sampler
+// off, then on — recorded under distinct labels measure what the sampling
+// plane costs (EXPERIMENTS.md, E20; the budget is ≤ 2%).
+//
 // With -compare <labelA> <labelB> no cluster runs at all: the newest
 // recorded sweep point under each label is loaded from the trajectory
 // file (-out, default BENCH_paso.json) and diffed — knee, per-rung p99 on
@@ -56,6 +62,8 @@ import (
 
 	"paso/internal/experiments"
 	"paso/internal/load"
+	"paso/internal/obs"
+	"paso/internal/obs/flight"
 )
 
 // trajectory is the BENCH_paso.json schema: an append-only series of
@@ -107,6 +115,8 @@ func run(args []string) error {
 		"compare mode: a rung regresses when its p99 exceeds slack × the baseline p99")
 	floor := fs.Float64("compare-p99-floor", 0,
 		"compare mode: candidate p99s below this many ms never count as regressions (noise floor)")
+	sampleEvery := fs.Duration("sample-interval", 0,
+		"arm a flight time-series sampler over the sweep cluster's registry at this interval (0 = off)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,7 +161,7 @@ func run(args []string) error {
 			InsertFrac:   *insertFrac,
 			ReadFrac:     *readFrac,
 			Transport:    *transport,
-		}, *label, *out, *minAchieved)
+		}, *label, *out, *minAchieved, *sampleEvery)
 	}
 	cfg := experiments.ThroughputConfig{
 		Machines:   *machines,
@@ -215,8 +225,24 @@ func parseRates(sweep string, rate float64) ([]float64, error) {
 }
 
 // runSweep executes the open-loop sweep, prints the curve, appends a
-// "sweep" point, and enforces the -sweep-min-achieved floor.
-func runSweep(cfg experiments.SweepConfig, label, out string, minAchieved float64) error {
+// "sweep" point, and enforces the -sweep-min-achieved floor. A positive
+// sampleEvery arms a flight time-series sampler over the cluster's shared
+// registry for the whole sweep — the overhead-measurement mode: two
+// otherwise identical runs, sampler off then on, recorded side by side in
+// the trajectory (EXPERIMENTS.md, E20; the budget is ≤ 2% on the knee).
+func runSweep(cfg experiments.SweepConfig, label, out string, minAchieved float64, sampleEvery time.Duration) error {
+	if sampleEvery > 0 {
+		o := obs.New(obs.Options{TraceCap: 1024, SpanCap: 1024})
+		cfg.Obs = o
+		sampler := flight.NewSampler(o.Reg(), flight.SamplerOptions{Interval: sampleEvery})
+		sampler.Start()
+		defer func() {
+			sampler.Stop()
+			oldest, newest := sampler.Bounds()
+			fmt.Printf("sampler: %d frame(s), %d series, %s of history at %s interval\n",
+				sampler.Frames(), len(sampler.Names()), newest.Sub(oldest).Round(time.Second), sampleEvery)
+		}()
+	}
 	res, err := experiments.RunSweep(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"paso/internal/obs/flight"
+)
+
+// runFlight implements the "flight" subcommand: list the diagnostic
+// bundles every machine's flight recorder has captured, or download one
+// bundle's files for offline inspection.
+//
+//	pasoctl flight -debug 127.0.0.1:7301,127.0.0.1:7302 list
+//	pasoctl flight -debug 127.0.0.1:7301 get b0001-coord-backlog -o ./bundles
+func runFlight(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pasoctl flight", flag.ContinueOnError)
+	debug := fs.String("debug", "127.0.0.1:7301", "comma-separated debug addresses of the cluster's machines")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	outDir := fs.String("o", ".", "directory bundle files are downloaded into (get)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := splitAddrs(*debug)
+	if len(addrs) == 0 {
+		return fmt.Errorf("flight: -debug needs at least one address")
+	}
+	client := &http.Client{Timeout: *timeout}
+	switch {
+	case fs.NArg() == 0 || fs.Arg(0) == "list":
+		return flightList(client, addrs, out)
+	case fs.Arg(0) == "get":
+		if fs.NArg() < 2 {
+			return fmt.Errorf("flight: usage: pasoctl flight [-debug ...] get <bundle-id> [-o dir]")
+		}
+		return flightGet(client, addrs, fs.Arg(1), *outDir, out)
+	default:
+		return fmt.Errorf("flight: unknown action %q (want list or get)", fs.Arg(0))
+	}
+}
+
+// flightRow pairs a manifest with the machine it came from.
+type flightRow struct {
+	addr string
+	m    flight.Manifest
+}
+
+// flightList merges every reachable machine's bundle index, newest first.
+func flightList(client *http.Client, addrs []string, out io.Writer) error {
+	var rows []flightRow
+	var reached int
+	for _, addr := range addrs {
+		var resp struct {
+			Dir     string            `json:"dir"`
+			Bundles []flight.Manifest `json:"bundles"`
+		}
+		if err := getJSON(client, "http://"+addr+"/flight", &resp); err != nil {
+			fmt.Fprintf(out, "# %s unreachable: %v\n", addr, err)
+			continue
+		}
+		reached++
+		for _, m := range resp.Bundles {
+			rows = append(rows, flightRow{addr: addr, m: m})
+		}
+	}
+	if reached == 0 {
+		return fmt.Errorf("flight: no debug endpoint reachable")
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(out, "no bundles on %d machine(s) (is -flight-dir set?)\n", reached)
+		return nil
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].m.Time.After(rows[j].m.Time) })
+	fmt.Fprintf(out, "%-21s  %-24s  %-15s  %-8s  %6s  %6s  %6s  %9s\n",
+		"MACHINE", "BUNDLE", "TRIGGER", "AGE", "EVENTS", "SPANS", "SERIES", "OWNERSHIP")
+	now := time.Now()
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-21s  %-24s  %-15s  %-8s  %6d  %6d  %6d  %9d\n",
+			r.addr, r.m.ID, r.m.Trigger,
+			now.Sub(r.m.Time).Round(time.Second),
+			r.m.Events, r.m.Spans, r.m.Series, len(r.m.Ownership))
+	}
+	return nil
+}
+
+// flightGet downloads one bundle — manifest plus every listed file — from
+// the first machine that has it, into dir/<bundle-id>/.
+func flightGet(client *http.Client, addrs []string, id, dir string, out io.Writer) error {
+	for _, addr := range addrs {
+		rawManifest, err := getRaw(client, "http://"+addr+"/flight?id="+id)
+		if err != nil {
+			continue
+		}
+		var m flight.Manifest
+		if err := json.Unmarshal(rawManifest, &m); err != nil {
+			return fmt.Errorf("flight: %s: bad manifest from %s: %w", id, addr, err)
+		}
+		dst := filepath.Join(dir, m.ID)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, "manifest.json"), rawManifest, 0o644); err != nil {
+			return err
+		}
+		for _, name := range m.Files {
+			raw, err := getRaw(client, "http://"+addr+"/flight?id="+id+"&file="+name)
+			if err != nil {
+				return fmt.Errorf("flight: %s/%s: %w", id, name, err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, name), raw, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "downloaded %s from %s: manifest + %d file(s) in %s\n",
+			m.ID, addr, len(m.Files), dst)
+		fmt.Fprintf(out, "trigger %s (%s), window %s..%s, %d ownership event(s), fingerprint %.16s\n",
+			m.Trigger, m.Reason,
+			m.WindowFrom.Format(time.RFC3339), m.WindowTo.Format(time.RFC3339),
+			len(m.Ownership), m.Fingerprint)
+		return nil
+	}
+	return fmt.Errorf("flight: bundle %q not found on any of %s", id, strings.Join(addrs, ", "))
+}
+
+// getRaw fetches a URL's body verbatim.
+func getRaw(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -23,6 +23,17 @@
 //
 //	pasoctl trace -debug 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303 list
 //	pasoctl trace -debug 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303 <op-id>
+//
+// "top" renders a one-shot (or -watch periodic) cluster view from the same
+// debug endpoints: per-machine group counts, coordinator backlog, stage
+// p99s, send stalls, and send-queue watermarks, plus the per-group
+// ownership map assembled from every machine's placement audit trail.
+// "flight" lists and downloads the diagnostic bundles machines' flight
+// recorders captured (see README, "Flight recorder"):
+//
+//	pasoctl top -debug 127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303
+//	pasoctl flight -debug 127.0.0.1:7301,127.0.0.1:7302 list
+//	pasoctl flight -debug 127.0.0.1:7301 get <bundle-id> -o ./bundles
 package main
 
 import (
@@ -45,6 +56,12 @@ func main() {
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "trace" {
 		return runTrace(args[1:], os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "flight" {
+		return runFlight(args[1:], os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "top" {
+		return runTop(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("pasoctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7201", "pasod client address")

@@ -27,7 +27,12 @@
 // registry as JSON at /metrics.json (or /metrics?format=json), /trace
 // (the recent event ring: view changes, policy join/leave decisions,
 // peer up/down, send-queue stalls), /healthz, and the standard
-// /debug/pprof/ profiling handlers.
+// /debug/pprof/ profiling handlers — plus the flight-recorder plane:
+// /timeseries (the delta-compressed metrics ring, -sample-interval),
+// /placement (the per-class ownership audit trail and current placement
+// assignment), and /flight (diagnostic bundles captured when an armed
+// trigger fires; -flight-dir enables capture). `pasoctl top` and
+// `pasoctl flight` consume these across a cluster.
 package main
 
 import (
@@ -44,6 +49,8 @@ import (
 	"paso/internal/class"
 	"paso/internal/core"
 	"paso/internal/obs"
+	"paso/internal/obs/flight"
+	"paso/internal/placement"
 	"paso/internal/storage"
 	"paso/internal/transport"
 	"paso/internal/transport/tcp"
@@ -75,6 +82,15 @@ func run(args []string) error {
 		traceCap  = fs.Int("trace-cap", 2048, "event trace ring capacity")
 		traceOps  = fs.Bool("trace-ops", false, "trace every PASO operation across machines (/trace/ops, pasoctl trace)")
 		spanCap   = fs.Int("span-cap", 8192, "operation span ring capacity")
+		placed    = fs.Bool("placement", false, "shard per-class sequencing across machines (placed mode)")
+
+		sampleEvery = fs.Duration("sample-interval", 250*time.Millisecond, "time-series sampler interval (0 disables /timeseries and the flight recorder's rules)")
+		sampleKeep  = fs.Duration("sample-retention", 5*time.Minute, "time-series retention window")
+
+		flightDir      = fs.String("flight-dir", "", "flight-recorder bundle directory; empty disables bundle capture")
+		flightWindow   = fs.Duration("flight-window", time.Minute, "time-series history captured per bundle")
+		flightHWM      = fs.Int64("flight-backlog-hwm", 1024, "coordinator-backlog watermark that trips the flight recorder")
+		flightTakeover = fs.Duration("flight-takeover-max", 2*time.Second, "takeover duration that trips the flight recorder")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,17 +126,55 @@ func run(args []string) error {
 		ep.AddPeer(pid, addr)
 	}
 
+	// Flight-recorder plane: the placement audit trail is always wired (it
+	// only records in placed mode); the sampler and recorder arm on their
+	// flags. All of it is observer-only — nothing here feeds back into the
+	// protocol.
+	trail := flight.NewAuditTrail(0)
 	cfg := core.Config{
 		Classifier: class.NewNameArity(splitNames(*names), *arity),
 		Lambda:     *lambda,
 		StoreKind:  storage.KindHash,
 		NewPolicy:  core.BasicPolicyFactory(*k),
 		TraceOps:   *traceOps,
+		Placement:  *placed,
 		Obs:        o,
+		Audit:      trail,
 	}
 	var basics []class.ID
 	if *support {
 		basics = cfg.Classifier.Classes()
+	}
+
+	var assignFn func() any
+	if *placed {
+		pol := placement.New(cfg.Classifier.Classes(), cfg.Lambda)
+		self := transport.NodeID(*id)
+		assignFn = func() any {
+			return pol.Assign(append(ep.Alive(), self))
+		}
+	}
+	var sampler *flight.Sampler
+	if *sampleEvery > 0 {
+		sampler = flight.NewSampler(o.Reg(), flight.SamplerOptions{
+			Interval: *sampleEvery, Retention: *sampleKeep,
+		})
+		o.Handle("/timeseries", sampler.Handler())
+	}
+	o.Handle("/placement", flight.PlacementHandler(trail, assignFn))
+	if *flightDir != "" {
+		rec := flight.NewRecorder(flight.RecorderOptions{
+			Dir: *flightDir, Obs: o, Sampler: sampler, Audit: trail,
+			Placement: assignFn,
+			Rules:     flight.DefaultRules(*flightHWM, *flightTakeover),
+			Window:    *flightWindow,
+		})
+		o.Handle("/flight", rec.Handler())
+	}
+	if sampler != nil {
+		// Started after the recorder is armed so no frame escapes the rules.
+		sampler.Start()
+		defer sampler.Stop()
 	}
 	logger.Info("starting",
 		"transport", ep.Addr(), "client", *client,
@@ -146,7 +200,7 @@ func run(args []string) error {
 			return err
 		}
 		logger.Info("debug endpoints up", "addr", debug.Addr(),
-			"paths", "/metrics /trace /healthz /debug/pprof/")
+			"paths", "/metrics /trace /timeseries /placement /flight /healthz /debug/pprof/")
 	}
 
 	srv, err := core.ServeProtocol(*client, m)

@@ -12,6 +12,7 @@ import (
 	"paso/internal/storage"
 	"paso/internal/support"
 	"paso/internal/transport"
+	"paso/internal/vsync"
 )
 
 // Config parameterizes a PASO cluster.
@@ -101,6 +102,13 @@ type Config struct {
 	// harness uses this to assert the §4.1 λ−k+1 condition at every view
 	// change (see FAULTS.md §4 and faults.Checker).
 	OnViewChange func(machine transport.NodeID, group string, members []transport.NodeID)
+
+	// Audit, when non-nil, receives the machine's view of group-ownership
+	// transitions (fresh placement, takeover with recovery duration,
+	// handoff, abdication) in placed mode — the flight recorder's
+	// placement/rebalance audit trail (internal/obs/flight.AuditTrail).
+	// Purely an observer: nothing recorded feeds back into placement.
+	Audit vsync.PlacementAudit
 
 	// SupportSelector enables dynamic support maintenance (§5.2): when a
 	// basic-support machine crashes, the cluster immediately replaces it

@@ -148,7 +148,7 @@ func newMachine(id transport.NodeID, ep transport.Endpoint, cfg Config, basicCla
 		m.basic[cls] = true
 	}
 	m.srv = newServer(cfg, o, m.onUpdate, m.notifyReader)
-	nodeOpts := vsync.NodeOptions{Obs: o}
+	nodeOpts := vsync.NodeOptions{Obs: o, Audit: cfg.Audit}
 	if pol := cfg.placementPolicy(); pol != nil {
 		nodeOpts.Coord = pol.CoordFn()
 	}

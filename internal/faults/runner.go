@@ -10,6 +10,7 @@ import (
 	"paso/internal/core"
 	"paso/internal/cost"
 	"paso/internal/obs"
+	"paso/internal/obs/flight"
 	"paso/internal/semantics"
 	"paso/internal/transport"
 	"paso/internal/tuple"
@@ -41,6 +42,16 @@ type RunOptions struct {
 	// timelines are wall-clock data and are NOT part of the deterministic
 	// Out report.
 	Trace bool
+	// FlightDir arms a flight recorder over the run: every machine shares
+	// one Obs (as with Trace), a sampler snapshots the merged registry,
+	// the default trigger rules watch it, and when the scenario completes
+	// a final bundle is force-captured — so every chaos run leaves at
+	// least one postmortem artifact, with the placement audit trail wired
+	// through core.Config.Audit. Bundle IDs land in Result.Bundles.
+	// Wall-clock data, excluded from the deterministic Out report.
+	FlightDir string
+	// FlightInterval overrides the flight sampler interval (default 50ms).
+	FlightInterval time.Duration
 }
 
 // ProbeTrace is one probe leg's assembled cross-machine trace.
@@ -73,6 +84,10 @@ type Result struct {
 	// ProbeTraces holds every probe leg's assembled trace when
 	// RunOptions.Trace was set (wall-clock data, excluded from Out).
 	ProbeTraces []ProbeTrace
+	// Bundles lists the flight-recorder bundles present in FlightDir after
+	// the run (set only when RunOptions.FlightDir was armed; wall-clock
+	// data, excluded from Out).
+	Bundles []string
 }
 
 // OK reports whether the run passed.
@@ -147,6 +162,29 @@ func Run(sc *Scenario, opt RunOptions) (*Result, error) {
 		ccfg.TraceOps = true
 		ccfg.Obs = o
 	}
+	var rec *flight.Recorder
+	if opt.FlightDir != "" {
+		// The flight plane also wants the cluster-wide merge: one shared
+		// registry to sample and one audit trail that sees every machine's
+		// ownership edges.
+		ccfg.Obs = o
+		trail := flight.NewAuditTrail(0)
+		ccfg.Audit = trail
+		interval := opt.FlightInterval
+		if interval <= 0 {
+			interval = 50 * time.Millisecond
+		}
+		sampler := flight.NewSampler(o.Reg(), flight.SamplerOptions{
+			Interval: interval, Retention: 5 * time.Minute,
+		})
+		rec = flight.NewRecorder(flight.RecorderOptions{
+			Dir: opt.FlightDir, Obs: o, Sampler: sampler, Audit: trail,
+			Rules:  flight.DefaultRules(0, 0),
+			Window: 5 * time.Minute,
+		})
+		sampler.Start()
+		defer sampler.Stop()
+	}
 	cluster, err := core.NewCluster(ccfg, sc.N)
 	if err != nil {
 		return nil, fmt.Errorf("faults: cluster: %w", err)
@@ -206,6 +244,20 @@ func Run(sc *Scenario, opt RunOptions) (*Result, error) {
 		Faults:  plan.Events(),
 		Records: len(history), Violations: r.violations,
 		ProbeTraces: r.probeTraces,
+	}
+	if rec != nil {
+		// Force a scenario-end capture so even a run where no rule fired
+		// leaves a postmortem bundle, then report everything in the dir.
+		if _, err := rec.Trigger("scenario-end",
+			fmt.Sprintf("scenario %s seed=%d completed", sc.Name, sc.Seed)); err != nil {
+			r.violate(fmt.Sprintf("flight: scenario-end capture: %v", err))
+		}
+		if ms, err := flight.ListBundles(opt.FlightDir); err == nil {
+			for _, m := range ms {
+				res.Bundles = append(res.Bundles, m.ID)
+			}
+		}
+		res.Violations = r.violations
 	}
 	sort.Slice(res.Faults, func(i, j int) bool {
 		a, b := res.Faults[i], res.Faults[j]

@@ -31,6 +31,7 @@ var documented = []string{
 	"../simnet",
 	"../faults",
 	"../obs",
+	"../obs/flight",
 	"../cost",
 	"../load",
 	"../class",

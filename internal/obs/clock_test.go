@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The coarse clock must track the real clock within a few ticks: the
+// contract is "at most coarseTick stale" plus scheduling jitter, and the
+// consumers (stage histograms) only need ms-scale truth.
+func TestCoarseNowTracksWallClock(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		now := time.Now()
+		coarse := CoarseNow()
+		if d := now.Sub(coarse); d < -10*coarseTick || d > 40*coarseTick {
+			t.Fatalf("CoarseNow drifted %v from time.Now (tick %v)", d, coarseTick)
+		}
+		time.Sleep(coarseTick)
+	}
+}
+
+func TestCoarseSinceAdvances(t *testing.T) {
+	start := CoarseNow()
+	time.Sleep(20 * coarseTick)
+	d := CoarseSince(start)
+	if d < coarseTick {
+		t.Fatalf("CoarseSince = %v after sleeping %v", d, 20*coarseTick)
+	}
+	if d > time.Second {
+		t.Fatalf("CoarseSince = %v, absurdly large", d)
+	}
+}
+
+// The point of the coarse clock: an atomic load instead of a vDSO call.
+// Run with -bench to compare; the stage-latency hot paths take two stamps
+// per operation, so the delta is paid twice per gcast.
+func BenchmarkCoarseNow(b *testing.B) {
+	CoarseNow() // start the advancing goroutine outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CoarseNow()
+	}
+}
+
+func BenchmarkTimeNow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = time.Now()
+	}
+}

@@ -1,0 +1,61 @@
+package flight
+
+import (
+	"testing"
+	"time"
+
+	"paso/internal/transport"
+)
+
+func TestAuditTrailRingWraps(t *testing.T) {
+	a := NewAuditTrail(4)
+	for i := 0; i < 10; i++ {
+		a.RecordOwnership("wg/x/0", uint64(i), transport.NodeID(i%3+1), OwnFresh, 0)
+	}
+	if a.Total() != 10 {
+		t.Fatalf("Total() = %d, want 10", a.Total())
+	}
+	evs := a.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq || e.Epoch != wantSeq {
+			t.Fatalf("event %d = seq %d epoch %d, want %d (oldest-first order)", i, e.Seq, e.Epoch, wantSeq)
+		}
+	}
+}
+
+func TestAuditTrailOwners(t *testing.T) {
+	a := NewAuditTrail(0)
+	a.RecordOwnership("wg/a/0", 1, 1, OwnFresh, 0)
+	a.RecordOwnership("wg/a/0", 2, 3, OwnTakeover, 700*time.Millisecond)
+	a.RecordOwnership("wg/b/0", 1, 2, OwnFresh, 0)
+	a.RecordOwnership("wg/b/0", 3, 4, OwnAbdicate, 0)
+
+	owners := a.Owners()
+	ea, ok := owners["wg/a/0"]
+	if !ok || ea.Owner != 3 || ea.Kind != OwnTakeover {
+		t.Fatalf("wg/a/0 owner = %+v, want takeover by 3", ea)
+	}
+	if ea.TakeoverSeconds != 0.7 {
+		t.Fatalf("takeover seconds = %v, want 0.7", ea.TakeoverSeconds)
+	}
+	// The abdicate edge points away from this machine; the newest
+	// non-abdicate record (the fresh claim) remains the trail's view.
+	eb, ok := owners["wg/b/0"]
+	if !ok || eb.Owner != 2 || eb.Kind != OwnFresh {
+		t.Fatalf("wg/b/0 owner = %+v, want fresh by 2", eb)
+	}
+}
+
+func TestAuditTrailDeterministicClock(t *testing.T) {
+	a := NewAuditTrail(0)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	a.SetNow(func() time.Time { return base })
+	a.RecordOwnership("wg/a/0", 1, 1, OwnFresh, 0)
+	if got := a.Events()[0].Time; !got.Equal(base) {
+		t.Fatalf("event time = %v, want injected %v", got, base)
+	}
+}

@@ -26,6 +26,9 @@ import (
 //	                causal timeline with §3.3 cost attribution
 //	/healthz        200 ok
 //	/debug/pprof/   the standard net/http/pprof handlers
+//
+// plus whatever extra endpoints were registered with Handle (pasod mounts
+// the flight recorder's /timeseries, /flight, and /placement this way).
 func (o *Obs) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", o.handleMetrics)
@@ -41,6 +44,11 @@ func (o *Obs) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	o.sh.mu.Lock()
+	for pattern, h := range o.sh.handlers {
+		mux.Handle(pattern, h)
+	}
+	o.sh.mu.Unlock()
 	return mux
 }
 
@@ -112,37 +120,114 @@ func wantsJSON(r *http.Request) bool {
 	return strings.Contains(accept, "application/json")
 }
 
+// promFamilies maps the registry's dynamic-suffix metric families —
+// names minted per group or per peer, like "vsync.order.seconds.wg/job/2"
+// — onto properly labeled Prometheus series. Without this table those
+// suffixes would be crushed into the metric name by promName, losing the
+// group identity and mangling arbitrary class-name bytes; with it the
+// suffix becomes a label value, escaped per the exposition format, so
+// hostile class names (quotes, backslashes, newlines) stay valid text.
+var promFamilies = []struct {
+	prefix string // registry name prefix, including the trailing separator
+	family string // the Prometheus metric name the family renders as
+	label  string // the label the suffix becomes
+}{
+	{"vsync.order.seconds.", "vsync.order.seconds", "group"},
+	{"vsync.coord.backlog.", "vsync.coord.backlog", "group"},
+	{"vsync.takeover.seconds.", "vsync.takeover.seconds", "group"},
+	{"transport.sendq.depth.p", "transport.sendq.depth", "peer"},
+	{"transport.sendq.hwm.p", "transport.sendq.hwm", "peer"},
+}
+
+// promSeries splits a registry name into its Prometheus metric name and
+// (for dynamic families) a `label="escaped value"` pair; labels is ""
+// for plain metrics.
+func promSeries(name string) (pn, labels string) {
+	for _, f := range promFamilies {
+		if strings.HasPrefix(name, f.prefix) && len(name) > len(f.prefix) {
+			return promName(f.family), f.label + `="` + promLabel(name[len(f.prefix):]) + `"`
+		}
+	}
+	return promName(name), ""
+}
+
 // writePrometheus renders the exposition text format. Histograms are
 // rendered as native Prometheus histograms: a cumulative `le` bucket
 // series over the non-empty log buckets plus the mandatory `+Inf` bucket,
 // `_sum`, and `_count` — lossless with respect to the registry snapshot,
 // so a scraper (or a test) can reconstruct every bucket count exactly.
+// Dynamic-suffix families (promFamilies) render as one metric with a
+// label per series; a # TYPE line is emitted once per metric name.
 func writePrometheus(w http.ResponseWriter, snap RegistrySnapshot, derived map[string]float64) {
+	typed := make(map[string]bool)
+	typeLine := func(pn, kind string) {
+		if !typed[pn] {
+			typed[pn] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", pn, kind)
+		}
+	}
+	brace := func(labels string) string {
+		if labels == "" {
+			return ""
+		}
+		return "{" + labels + "}"
+	}
 	for _, name := range sortedKeys(snap.Counters) {
-		pn := promName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+		pn, labels := promSeries(name)
+		typeLine(pn, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", pn, brace(labels), snap.Counters[name])
 	}
 	for _, name := range sortedKeys(snap.Gauges) {
-		pn := promName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[name])
+		pn, labels := promSeries(name)
+		typeLine(pn, "gauge")
+		fmt.Fprintf(w, "%s%s %d\n", pn, brace(labels), snap.Gauges[name])
 	}
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
-		pn := promName(name)
-		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		pn, labels := promSeries(name)
+		le := `le=`
+		if labels != "" {
+			le = labels + `,le=`
+		}
+		typeLine(pn, "histogram")
 		var cum uint64
 		for _, b := range h.Buckets {
 			cum += b.Count
-			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, promFloat(b.Upper), cum)
+			fmt.Fprintf(w, "%s_bucket{%s\"%s\"} %d\n", pn, le, promFloat(b.Upper), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
-		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
-		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_bucket{%s\"+Inf\"} %d\n", pn, le, h.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", pn, brace(labels), promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", pn, brace(labels), h.Count)
 	}
 	for _, name := range sortedKeys(derived) {
-		pn := promName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(derived[name]))
+		pn, labels := promSeries(name)
+		typeLine(pn, "gauge")
+		fmt.Fprintf(w, "%s%s %s\n", pn, brace(labels), promFloat(derived[name]))
 	}
+}
+
+// promLabel escapes a label value per the text exposition format: inside
+// double quotes, backslash, the double quote, and newline must be escaped
+// (and a raw carriage return would also break the line-oriented format,
+// so it is escaped the same way).
+func promLabel(v string) string {
+	var sb strings.Builder
+	sb.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
 }
 
 // promName sanitizes a dotted metric name into the Prometheus charset.

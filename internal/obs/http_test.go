@@ -216,6 +216,45 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestPrometheusHostileLabels pins the exact exposition for dynamic-suffix
+// family metrics whose suffix carries every byte the text format must
+// escape. Class names are arbitrary strings, so a group like
+// `wg/ev"il\cls` with embedded newlines must come out as a quoted label
+// value with `\"`, `\\`, `\n`, `\r` escapes — one line per series, never a
+// broken line.
+func TestPrometheusHostileLabels(t *testing.T) {
+	o := New(Options{})
+	hostile := "wg/ev\"il\\cls\nx\r/0"
+	const esc = `wg/ev\"il\\cls\nx\r/0`
+	o.Gauge("vsync.coord.backlog." + hostile).Set(5)
+	o.Gauge("vsync.coord.backlog.wg/ok/1").Set(7)
+	o.Histogram("vsync.order.seconds." + hostile).Observe(1e-10)
+
+	rec := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	want := strings.Join([]string{
+		"# TYPE vsync_coord_backlog gauge",
+		`vsync_coord_backlog{group="` + esc + `"} 5`,
+		`vsync_coord_backlog{group="wg/ok/1"} 7`,
+		"# TYPE vsync_order_seconds histogram",
+		`vsync_order_seconds_bucket{group="` + esc + `",le="1e-09"} 1`,
+		`vsync_order_seconds_bucket{group="` + esc + `",le="+Inf"} 1`,
+		`vsync_order_seconds_sum{group="` + esc + `"} 1e-10`,
+		`vsync_order_seconds_count{group="` + esc + `"} 1`,
+		"",
+	}, "\n")
+	got := rec.Body.String()
+	if got != want {
+		t.Errorf("hostile-label golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Belt and braces: the raw newline in the group name must not have
+	// produced extra exposition lines.
+	if n := strings.Count(got, "\n"); n != strings.Count(want, "\n") {
+		t.Errorf("exposition has %d lines, want %d — a label value leaked a raw newline", n, strings.Count(want, "\n"))
+	}
+}
+
 func TestPromName(t *testing.T) {
 	tests := map[string]string{
 		"transport.msgs.sent":              "transport_msgs_sent",

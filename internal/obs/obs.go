@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"sort"
 	"sync"
 )
@@ -51,6 +52,7 @@ type shared struct {
 
 	mu         sync.Mutex
 	collectors map[string]Collector
+	handlers   map[string]http.Handler
 }
 
 // Obs bundles a metrics registry, an event trace ring, and a structured
@@ -90,6 +92,7 @@ func New(opts Options) *Obs {
 			trace:      NewTrace(opts.TraceCap),
 			spans:      NewSpanStore(opts.SpanCap),
 			collectors: make(map[string]Collector),
+			handlers:   make(map[string]http.Handler),
 		},
 		log: log,
 	}
@@ -156,6 +159,17 @@ func (o *Obs) Emit(kind string, attrs ...Attr) {
 		}
 		o.log.Info(kind, args...)
 	}
+}
+
+// Handle registers (or replaces) an extra debug endpoint mounted by
+// Handler under the given mux pattern — how subsystems built on top of
+// obs (the flight recorder's /timeseries, /flight, /placement) surface
+// themselves on the same debug listener. Register before ServeDebug;
+// handlers added later only appear on muxes built afterwards.
+func (o *Obs) Handle(pattern string, h http.Handler) {
+	o.sh.mu.Lock()
+	defer o.sh.mu.Unlock()
+	o.sh.handlers[pattern] = h
 }
 
 // AddCollector registers (or replaces) a named scrape-time metrics source.

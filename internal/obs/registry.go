@@ -81,21 +81,42 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Snapshot captures every metric's current value, sorted by name.
+//
+// The registry lock is held only long enough to copy the handle maps —
+// microseconds — never across the value reads: histogram snapshots walk
+// 1024 buckets each, and a snapshotter descheduled mid-walk while holding
+// even the read lock would let one pending registration (write lock)
+// queue every hot-path metric lookup behind it. With the copy-then-read
+// split, a periodic sampler (internal/obs/flight) can snapshot a busy
+// registry without ever stalling writers.
 func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	snap := RegistrySnapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		Histograms: make(map[string]HistSnapshot, len(r.hists)),
-	}
+	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.RUnlock()
+
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistSnapshot, len(hists)),
+	}
+	for name, c := range counters {
 		snap.Counters[name] = c.Value()
 	}
-	for name, g := range r.gauges {
+	for name, g := range gauges {
 		snap.Gauges[name] = g.Value()
 	}
-	for name, h := range r.hists {
+	for name, h := range hists {
 		snap.Histograms[name] = h.Snapshot()
 	}
 	return snap

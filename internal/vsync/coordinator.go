@@ -8,6 +8,26 @@ import (
 	"paso/internal/transport"
 )
 
+// Ownership-transition kinds forwarded to the PlacementAudit. The strings
+// match internal/obs/flight's OwnFresh / OwnTakeover / OwnHandoff /
+// OwnAbdicate (flight cannot be imported here without inverting the
+// layering, so the contract is by value).
+const (
+	ownFresh    = "fresh"
+	ownTakeover = "takeover"
+	ownHandoff  = "handoff"
+	ownAbdicate = "abdicate"
+)
+
+// recordOwnership forwards one ownership edge to the configured audit
+// trail; without one the call is a nil check.
+func (n *Node) recordOwnership(group, kind string, owner transport.NodeID, takeover time.Duration) {
+	if n.audit == nil {
+		return
+	}
+	n.audit.RecordOwnership(group, n.liveEpoch, owner, kind, takeover)
+}
+
 // coordState is the sequencing state held by the current coordinator (the
 // lowest-ID live node). It exists only on that node and is rebuilt from
 // survivors after a coordinator crash.
@@ -20,7 +40,11 @@ type coordState struct {
 	// runs (group → claimant → last assigned sequence); finishRecovery
 	// merges them with the claims embedded in the reports.
 	claims map[string]map[transport.NodeID]uint64
-	queued []queuedReq
+	// recoveryStart stamps when the survivor-quorum wait began; the gap to
+	// finishRecovery is the takeover duration recorded per rebuilt group
+	// (vsync.takeover.seconds.<group>, and the ownership audit trail).
+	recoveryStart time.Time
+	queued        []queuedReq
 	// dirty lists groups with staged casts awaiting sequencing; the loop
 	// drains it once per burst (flushCoord), so every cast that arrived in
 	// the burst shares one sequence-range allocation and one fan-out run.
@@ -215,11 +239,13 @@ func (n *Node) becomeCoordinator() {
 			cg.members = []transport.NodeID{n.self}
 			cg.nextSeq = g.last + 1
 			cs.groups[name] = cg
+			n.recordOwnership(name, ownFresh, n.self, 0)
 		}
 		n.syncCoordGroups()
 		return
 	}
 	cs.recovering = true
+	cs.recoveryStart = time.Now()
 	cs.syncWait = make(map[transport.NodeID]bool, len(peers))
 	for _, p := range peers {
 		cs.syncWait[p] = true
@@ -293,6 +319,9 @@ func (n *Node) mergeReport(from transport.NodeID, infos map[string]syncInfo) {
 				cg = n.newCoordGroup(name)
 				cs.groups[name] = cg
 				n.syncCoordGroups()
+				// Adopting the last holder's state is a handoff, not a
+				// crash takeover: no recovery quorum ran for it.
+				n.recordOwnership(name, ownHandoff, n.self, 0)
 			}
 			cg.members = []transport.NodeID{from}
 			cg.nextSeq = info.Last + 1
@@ -348,6 +377,13 @@ func (n *Node) finishRecovery() {
 	cs := n.cs
 	cs.recovering = false
 	n.recoveredEpoch = n.liveEpoch
+	// Takeover duration: quorum wait through state rebuild. Zero when the
+	// state was seeded without a recovery (solo bootstrap).
+	var takeover time.Duration
+	if !cs.recoveryStart.IsZero() {
+		takeover = time.Since(cs.recoveryStart)
+		cs.recoveryStart = time.Time{}
+	}
 	type claim struct {
 		node transport.NodeID
 		last uint64
@@ -415,6 +451,8 @@ func (n *Node) finishRecovery() {
 		}
 		g.nextSeq = target + 1
 		cs.groups[name] = g
+		n.o.Histogram("vsync.takeover.seconds." + name).Observe(takeover.Seconds())
+		n.recordOwnership(name, ownTakeover, n.self, takeover)
 		for _, c := range claims {
 			if c.last < target {
 				// UpTo is the donation floor: the donor defers the snapshot
@@ -452,6 +490,7 @@ func (n *Node) coordGroupFor(name string) *coordGroup {
 		g = n.newCoordGroup(name)
 		n.cs.groups[name] = g
 		n.syncCoordGroups()
+		n.recordOwnership(name, ownFresh, n.self, 0)
 	}
 	return g
 }
@@ -505,7 +544,8 @@ func (n *Node) coordCast(w *wire) {
 	// The cast's enqueue time: the order stage (and the order span of a
 	// traced request) starts here, not at sequence assignment, so staging
 	// latency cannot hide from the coordinated-omission-safe stage clocks.
-	g.stagedAt = append(g.stagedAt, time.Now())
+	// Coarse-clock site: one stamp per cast on the sequencing hot path.
+	g.stagedAt = append(g.stagedAt, obs.CoarseNow())
 	n.gCoordBacklog.Add(1)
 	g.gBacklog.Add(1)
 }
@@ -716,7 +756,9 @@ func (n *Node) finishCast(g *coordGroup, seq uint64, pc *pendingCast) {
 	g.gBacklog.Add(-1)
 	// Order stage: staging to full ack quorum, the coordinator's share
 	// of the operation's critical path — aggregate and keyed per group.
-	elapsed := time.Since(pc.start).Seconds()
+	// pc.start came from the coarse clock at staging time, so elapsed is
+	// measured against the same clock.
+	elapsed := obs.CoarseSince(pc.start).Seconds()
 	n.hStageOrder.Observe(elapsed)
 	g.hOrder.Observe(elapsed)
 	if pc.trace != 0 {

@@ -3,7 +3,6 @@ package vsync
 import (
 	"encoding/binary"
 	"fmt"
-	"time"
 
 	"paso/internal/obs"
 	"paso/internal/transport"
@@ -89,9 +88,10 @@ func (n *Node) flushDonations(g *memberState) {
 func (n *Node) apply(g *memberState, orderer transport.NodeID, w *wire) {
 	switch w.Event {
 	case evData:
-		dstart := time.Now()
+		// Coarse-clock site: per-delivery stage attribution, ms scale.
+		dstart := obs.CoarseNow()
 		resp, fail, dup := n.deliverOnce(g, w)
-		n.hStageDeliver.Observe(time.Since(dstart).Seconds())
+		n.hStageDeliver.Observe(obs.CoarseSince(dstart).Seconds())
 		if w.Trace != 0 {
 			note := ""
 			if dup {

@@ -164,6 +164,15 @@ type Node struct {
 	// hFrame records encoded frame bytes per message type (indexed by
 	// msgType), the measured |m| of the §3.3 cost model.
 	hFrame [tMaxType + 1]*obs.Histogram
+	// Placement churn accounting: claims gathered during recovery, claim
+	// conflicts resolved by epoch, and classes whose owner moved across a
+	// live-set change (placed mode).
+	cClaimMember   *obs.Counter
+	cClaimCoord    *obs.Counter
+	cClaimConflict *obs.Counter
+	cMovedClasses  *obs.Counter
+	// audit receives ownership-transition records (nil disables).
+	audit PlacementAudit
 }
 
 // wirePool recycles the wires the hot path mints per operation — the
@@ -239,6 +248,18 @@ type donation struct {
 // implementation; a nil CoordFn keeps the default single global sequencer.
 type CoordFn func(group string, live []transport.NodeID) transport.NodeID
 
+// PlacementAudit receives placed-mode ownership edges as the node observes
+// them: fresh group creation, takeover after a crash (with the measured
+// recovery duration), adoption of another sequencer's groups, and
+// abdication to a placement-designated owner. Implementations must be safe
+// for concurrent use and must return quickly — calls happen on the event
+// loop. internal/obs/flight's AuditTrail is the engine's implementation; a
+// nil audit disables recording. Kind strings match flight.OwnFresh,
+// OwnTakeover, OwnHandoff, and OwnAbdicate.
+type PlacementAudit interface {
+	RecordOwnership(group string, epoch uint64, owner transport.NodeID, kind string, takeover time.Duration)
+}
+
 // NodeOptions configures optional node behavior for NewNodeOpts.
 type NodeOptions struct {
 	// Obs is the observability sink; nil records into a throwaway sink.
@@ -247,6 +268,9 @@ type NodeOptions struct {
 	// each group's sequencer is derived per group by this function instead
 	// of defaulting to the lowest-ID live node for everything.
 	Coord CoordFn
+	// Audit, when non-nil, records this node's view of group-ownership
+	// transitions (placed mode only).
+	Audit PlacementAudit
 }
 
 // NewNode attaches a node to the group layer and starts its event loop.
@@ -306,6 +330,12 @@ func NewNodeOpts(ep transport.Endpoint, h Handler, opts NodeOptions) *Node {
 		cRunSends:     o.Counter("vsync.order.runs"),
 		cRunCasts:     o.Counter("vsync.order.run.casts"),
 		hRunOcc:       o.Histogram("vsync.order.run.occupancy"),
+
+		cClaimMember:   o.Counter("vsync.claims.member"),
+		cClaimCoord:    o.Counter("vsync.claims.coord"),
+		cClaimConflict: o.Counter("vsync.claims.conflict"),
+		cMovedClasses:  o.Counter("placement.moved.classes"),
+		audit:          opts.Audit,
 	}
 	n.owned, _ = ep.(transport.OwnedSender)
 	n.fanout = fanoutEnabled()
@@ -382,13 +412,17 @@ func (n *Node) Gcast(group string, payload []byte) (Result, error) {
 // request resolves. A zero trace disables all of it — Gcast(g, p) is
 // exactly GcastTraced(g, p, 0, 0).
 func (n *Node) GcastTraced(group string, payload []byte, trace, parent uint64) (Result, error) {
-	start := time.Now()
+	// Coarse-clock site: client-queue wait and end-to-end gcast latency
+	// are queue-crossing measurements (ms scale under load), so the cached
+	// clock's ≤250µs staleness is invisible while the per-op time.Now pair
+	// it replaces was a measurable slice of the saturation profile.
+	start := obs.CoarseNow()
 	ch := make(chan Result, 1)
 	ok := n.do(func() {
 		// Client-queue stage: from the caller handing the request to the
 		// node until the event loop picks it up. Under saturation this is
 		// the first queue to grow.
-		n.hStageClientQ.Observe(time.Since(start).Seconds())
+		n.hStageClientQ.Observe(obs.CoarseSince(start).Seconds())
 		n.startRequest(tCastReq, group, payload, ch, trace, parent)
 	})
 	if !ok {
@@ -400,7 +434,7 @@ func (n *Node) GcastTraced(group string, payload []byte, trace, parent uint64) (
 		if r.Fail {
 			n.cGcastFail.Inc()
 		}
-		n.hGcastLat.Observe(time.Since(start).Seconds())
+		n.hGcastLat.Observe(obs.CoarseSince(start).Seconds())
 		return r, nil
 	case <-n.done:
 		return Result{}, ErrClosed

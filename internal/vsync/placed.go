@@ -1,6 +1,9 @@
 package vsync
 
 import (
+	"strings"
+	"time"
+
 	"paso/internal/obs"
 	"paso/internal/transport"
 )
@@ -19,6 +22,15 @@ import (
 // we belong to, replay the pre-takeover request stash, and re-aim pending
 // client requests whose group's owner moved.
 func (n *Node) refreshPlacement(prev map[string]transport.NodeID) {
+	// Rebalance accounting: a class moved iff its write group's owner
+	// changed across the edge (wg and rg move together, so counting wg
+	// alone counts classes once). prev holds the groups resolved in the
+	// previous epoch — exactly the ones whose movement is observable here.
+	for name, prevOwner := range prev {
+		if strings.HasPrefix(name, "wg/") && n.coordOf(name) != prevOwner {
+			n.cMovedClasses.Inc()
+		}
+	}
 	// Abdications first: a group we keep sequencing after it moved away
 	// would race the new owner's recovery.
 	if n.cs != nil {
@@ -105,6 +117,7 @@ func (n *Node) abdicateGroup(name string, g *coordGroup, newOwner transport.Node
 		}})
 	}
 	n.cCoordMove.Inc()
+	n.recordOwnership(name, ownAbdicate, newOwner, 0)
 	n.o.Emit("group-abdicate",
 		obs.KV("group", name), obs.KV("to", newOwner), obs.KV("last", last))
 }
@@ -143,6 +156,7 @@ func (n *Node) ensurePlacedRecovery() {
 		return
 	}
 	cs.recovering = true
+	cs.recoveryStart = time.Now()
 	cs.syncWait = make(map[transport.NodeID]bool, len(n.live))
 	cs.reports = make(map[transport.NodeID]map[string]syncInfo, len(n.live))
 	for id := range n.live {
@@ -211,6 +225,12 @@ func (n *Node) coordClaim(from transport.NodeID, w *wire) {
 		if n.coordOf(name) != n.self {
 			continue
 		}
+		if info.Member {
+			n.cClaimMember.Inc()
+		}
+		if info.Coord {
+			n.cClaimCoord.Inc()
+		}
 		cs := n.cs
 		if cs == nil || (!cs.recovering && cs.groups[name] == nil) {
 			if n.recoveredEpoch == n.liveEpoch {
@@ -226,6 +246,7 @@ func (n *Node) coordClaim(from transport.NodeID, w *wire) {
 			continue
 		}
 		if g := cs.groups[name]; g != nil && info.Coord && info.CoordLast >= g.nextSeq {
+			n.cClaimConflict.Inc()
 			n.o.Emit("claim-conflict",
 				obs.KV("group", name), obs.KV("from", from),
 				obs.KV("claim", info.CoordLast), obs.KV("next", g.nextSeq))
