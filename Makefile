@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench doccheck chaos flight-smoke trace-race wire-fuzz sweep sweep-smoke sweep-check sweep-classes check clean
+.PHONY: build test race vet bench doccheck chaos chaos-leases flight-smoke trace-race wire-fuzz sweep sweep-smoke sweep-check sweep-classes sweep-reads check clean
 
 build:
 	$(GO) build ./...
@@ -89,11 +89,35 @@ sweep-classes:
 		-out /tmp/paso-sweep-classes.json \
 		-compare "classes=1 baseline" "classes=8 candidate"
 
+# Leased-read gate (EXPERIMENTS.md, E21): two read-heavy simnet
+# mini-sweeps into a scratch trajectory — leases off, then the epoch-fenced
+# fast path on — and a -compare verdict. The gate fails when leases
+# collapse the read-heavy knee below the ordered baseline or blow a shared
+# rung's p99 past the slack (same 4×-slack / 50ms-floor calibration as
+# sweep-check). Both rungs must also individually sustain 80% of offered.
+sweep-reads:
+	rm -f /tmp/paso-sweep-reads.json
+	$(GO) run ./cmd/paso-loadgen -transport simnet -read-heavy -sweep 200,400 \
+		-rung 500ms -sweep-min-achieved 0.8 \
+		-out /tmp/paso-sweep-reads.json -label "read-heavy leases=off baseline"
+	$(GO) run ./cmd/paso-loadgen -transport simnet -read-heavy -leases -sweep 200,400 \
+		-rung 500ms -sweep-min-achieved 0.8 \
+		-out /tmp/paso-sweep-reads.json -label "read-heavy leases=on candidate"
+	$(GO) run ./cmd/paso-loadgen -compare-slack 4 -compare-p99-floor 50 \
+		-out /tmp/paso-sweep-reads.json \
+		-compare "read-heavy leases=off baseline" "read-heavy leases=on candidate"
+
 # Deterministic fault-injection smoke under the race detector; failures
 # replay bit-identically from the same seed (README, "Chaos testing").
 chaos:
 	$(GO) run -race ./cmd/paso-chaos -scenario rolling-crash -seed 42
 	$(GO) run -race ./cmd/paso-chaos -scenario flapping-partition -seed 7
+
+# The same seeded rolling-crash schedule with the leased-read fast path
+# enabled: the lease must be invisible to the λ−k+1 invariant and the
+# A1–A3 semantics checks (EXPERIMENTS.md, E21).
+chaos-leases:
+	$(GO) run -race ./cmd/paso-chaos -scenario rolling-crash -seed 42 -leases
 
 # Flight-recorder smoke: the slow-coordinator scenario with the recorder
 # armed must leave at least one diagnostic bundle whose manifest carries a

@@ -28,6 +28,13 @@
 // postmortem artifact (README, "Flight recorder"). The bundle inventory is
 // printed to stderr — bundles carry wall-clock data and stay off the
 // deterministic stdout surface.
+//
+// With -leases the cluster runs the leased-read fast path (PROTOCOL.md,
+// "Leased reads") under the same fault schedule: reads from non-support
+// machines go point-to-point under the view epoch and fall back to the
+// ordered path on any fence. The invariant and semantics checks are
+// identical — a chaos run with leases on asserts the lease is invisible
+// to the A1–A3 semantics.
 package main
 
 import (
@@ -65,6 +72,7 @@ func run(args []string, out io.Writer) (int, error) {
 		logPath  = fs.String("log", "", "write the obs event log (JSON lines, wall-clock order) to this file")
 		trPath   = fs.String("traces", "", "trace every probe op and write the assembled timelines to this file")
 		flight   = fs.String("flight", "", "arm a flight recorder and write diagnostic bundles into this directory")
+		leases   = fs.Bool("leases", false, "run the cluster with the leased-read fast path enabled")
 		list     = fs.Bool("list", false, "list scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +95,7 @@ func run(args []string, out io.Writer) (int, error) {
 	o := obs.New(obs.Options{TraceCap: 65536, SpanCap: 65536})
 	res, err := faults.Run(sc, faults.RunOptions{
 		Out: out, Obs: o, Trace: *trPath != "", FlightDir: *flight,
+		Leases: *leases,
 	})
 	if err != nil {
 		return 2, err

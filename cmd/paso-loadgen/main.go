@@ -36,6 +36,16 @@
 // with a mild Zipf skew. This is the E19 multi-class scaling mode; the
 // appended point records the class count.
 //
+// With -leases the cluster runs the leased-read fast path (PROTOCOL.md,
+// "Leased reads"): non-member reads go point-to-point to one write-group
+// member under the view epoch instead of through the ordered gcast.
+// Implies placement. Sweep points record the leased/fallback/remote read
+// tallies and the saved §3.3 msg-cost, so a leases=off/on pair under
+// -read-heavy is the E21 experiment. -read-heavy presets the op mix to 90%
+// reads and 10% inserts (read&del stays the remainder, i.e. none) — the
+// workload shape the lease path is built for; explicit -insert-frac /
+// -read-frac still win.
+//
 // With -sample-interval (> 0) a flight time-series sampler (the ring
 // behind pasod's /timeseries endpoint) runs over the sweep cluster's
 // registry for the whole run. Two otherwise identical sweeps — sampler
@@ -99,6 +109,8 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 2*time.Second, "measurement window (closed-loop mode)")
 	insertFrac := fs.Float64("insert-frac", 0.4, "fraction of inserts")
 	readFrac := fs.Float64("read-frac", 0.4, "fraction of reads (the rest is read&del)")
+	readHeavy := fs.Bool("read-heavy", false, "preset the mix to 90% reads / 10% inserts (E21; explicit -insert-frac/-read-frac win)")
+	leases := fs.Bool("leases", false, "enable the leased-read fast path (implies placement)")
 	label := fs.String("label", "", "label recorded with the trajectory point")
 	out := fs.String("out", "", "append the point to this JSON trajectory file")
 	traceOps := fs.Bool("trace-ops", false, "run with cross-machine operation tracing enabled")
@@ -132,6 +144,14 @@ func run(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *readHeavy {
+		if !flagSet(fs, "insert-frac") {
+			*insertFrac = 0.1
+		}
+		if !flagSet(fs, "read-frac") {
+			*readFrac = 0.9
+		}
+	}
 	if *compare != "" {
 		labelB := fs.Arg(0)
 		if labelB == "" {
@@ -156,6 +176,7 @@ func run(args []string) error {
 			Machines:     *machines,
 			Workers:      sweepWorkers,
 			Classes:      *classes,
+			Leases:       *leases,
 			Rates:        rates,
 			RungDuration: *rung,
 			InsertFrac:   *insertFrac,
@@ -168,6 +189,7 @@ func run(args []string) error {
 		Workers:    *workers,
 		Duration:   *duration,
 		Classes:    *classes,
+		Leases:     *leases,
 		InsertFrac: *insertFrac,
 		ReadFrac:   *readFrac,
 		TraceOps:   *traceOps,

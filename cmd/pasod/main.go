@@ -33,6 +33,14 @@
 // assignment), and /flight (diagnostic bundles captured when an armed
 // trigger fires; -flight-dir enables capture). `pasoctl top` and
 // `pasoctl flight` consume these across a cluster.
+//
+// With -placement, per-class sequencing shards across the ensemble and
+// each daemon's basic supports follow the placement assignment (the
+// -support flag is subsumed). Adding -leases turns on the epoch-fenced
+// leased-read fast path (PROTOCOL.md, "Leased reads"): reads from
+// non-members go point-to-point to one placed member and fall back to
+// the ordered path on any view change; `pasoctl stats` shows the
+// read-leased row and the per-class leased/fallback table.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -83,6 +92,7 @@ func run(args []string) error {
 		traceOps  = fs.Bool("trace-ops", false, "trace every PASO operation across machines (/trace/ops, pasoctl trace)")
 		spanCap   = fs.Int("span-cap", 8192, "operation span ring capacity")
 		placed    = fs.Bool("placement", false, "shard per-class sequencing across machines (placed mode)")
+		leases    = fs.Bool("leases", false, "read via the epoch-fenced leased fast path when not a member (needs -placement to derive targets)")
 
 		sampleEvery = fs.Duration("sample-interval", 250*time.Millisecond, "time-series sampler interval (0 disables /timeseries and the flight recorder's rules)")
 		sampleKeep  = fs.Duration("sample-retention", 5*time.Minute, "time-series retention window")
@@ -132,27 +142,46 @@ func run(args []string) error {
 	// protocol.
 	trail := flight.NewAuditTrail(0)
 	cfg := core.Config{
-		Classifier: class.NewNameArity(splitNames(*names), *arity),
-		Lambda:     *lambda,
-		StoreKind:  storage.KindHash,
-		NewPolicy:  core.BasicPolicyFactory(*k),
-		TraceOps:   *traceOps,
-		Placement:  *placed,
-		Obs:        o,
-		Audit:      trail,
+		Classifier:  class.NewNameArity(splitNames(*names), *arity),
+		Lambda:      *lambda,
+		StoreKind:   storage.KindHash,
+		NewPolicy:   core.BasicPolicyFactory(*k),
+		TraceOps:    *traceOps,
+		Placement:   *placed,
+		LeasedReads: *leases,
+		Obs:         o,
+		Audit:       trail,
 	}
 	var basics []class.ID
-	if *support {
-		basics = cfg.Classifier.Classes()
-	}
-
 	var assignFn func() any
 	if *placed {
+		// Placed mode co-locates each class's basic support with its placed
+		// coordinator (the same rule core.NewCluster applies): basics follow
+		// the placement assignment over the configured ensemble, so every
+		// wg(C) is exactly the members the placement function names — which
+		// is also where leased reads look for their targets. -support is
+		// subsumed; the assignment decides per class.
 		pol := placement.New(cfg.Classifier.Classes(), cfg.Lambda)
 		self := transport.NodeID(*id)
+		all := make([]transport.NodeID, 0, len(peerMap)+1)
+		all = append(all, self)
+		for pid := range peerMap {
+			all = append(all, pid)
+		}
+		for cls, members := range pol.Assign(all).Members {
+			for _, mid := range members {
+				if mid == self {
+					basics = append(basics, cls)
+					break
+				}
+			}
+		}
+		sort.Slice(basics, func(i, j int) bool { return basics[i] < basics[j] })
 		assignFn = func() any {
 			return pol.Assign(append(ep.Alive(), self))
 		}
+	} else if *support {
+		basics = cfg.Classifier.Classes()
 	}
 	var sampler *flight.Sampler
 	if *sampleEvery > 0 {

@@ -60,6 +60,21 @@ type Config struct {
 	// storage co-locate.
 	Placement bool
 
+	// LeasedReads enables the sequencer-free read fast path (PROTOCOL.md,
+	// "Leased reads"): a machine outside wg(C) sends an epoch-fenced
+	// direct read to one write-group member instead of paying the ordered
+	// gcast, falling back to the gcast path whenever the view moves under
+	// it. Target selection needs a membership source visible to
+	// non-members, so the fast path engages only when Placement is on or
+	// Support pins the groups explicitly; otherwise every read silently
+	// takes the ordered path, counted under read.fallback.
+	LeasedReads bool
+
+	// LeaseTimeout bounds how long a leased read waits for its reply
+	// before falling back to the ordered path (a crashed target the
+	// failure detector has not yet noticed). Zero defaults to 200ms.
+	LeaseTimeout time.Duration
+
 	// TraceOps mints a trace ID at every primitive's entry and propagates
 	// it through the vsync wire envelopes, so each machine records spans
 	// for its part of the operation (gcast, ordering, delivery) into its
@@ -138,6 +153,9 @@ func (c Config) withDefaults(n int) (Config, error) {
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = time.Millisecond
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 200 * time.Millisecond
 	}
 	return c, nil
 }

@@ -9,6 +9,7 @@ import (
 	"paso/internal/adaptive"
 	"paso/internal/class"
 	"paso/internal/obs"
+	"paso/internal/placement"
 	"paso/internal/transport"
 	"paso/internal/tuple"
 	"paso/internal/vsync"
@@ -36,6 +37,12 @@ type Machine struct {
 	srv   *server
 	idgen *tuple.IDGen
 	ops   *opMeter
+
+	// pol is the sharded-placement policy (nil in legacy mode); leased-read
+	// target selection derives wg membership from it when no Support pins
+	// the groups. lease is the leased-read fast path's bookkeeping.
+	pol   *placement.Policy
+	lease leaseState
 
 	basic map[class.ID]bool // classes with this machine in B(C)
 
@@ -86,6 +93,15 @@ func (h machineHandler) ViewChange(group string, members []transport.NodeID) {
 func (h machineHandler) AppMessage(from transport.NodeID, payload []byte) {
 	h.m.wake()
 }
+
+// LeaseRead implements vsync.LeaseReader: serve an epoch-fenced leased
+// read from the local replica (the group layer already verified this node
+// is an active member under the requester's epoch).
+func (h machineHandler) LeaseRead(group string, payload []byte) ([]byte, bool) {
+	return h.m.srv.leaseRead(group, payload)
+}
+
+var _ vsync.LeaseReader = machineHandler{}
 
 // StartMachine wires a standalone machine over any transport endpoint and
 // runs its initialization phase. It is the entry point for deployments
@@ -148,14 +164,20 @@ func newMachine(id transport.NodeID, ep transport.Endpoint, cfg Config, basicCla
 		m.basic[cls] = true
 	}
 	m.srv = newServer(cfg, o, m.onUpdate, m.notifyReader)
+	m.pol = cfg.placementPolicy()
+	m.lease.perClass = make(map[class.ID]*leaseClassStats)
+	m.lease.rr = make(map[class.ID]uint32)
+	m.lease.cLeased = make(map[class.ID]*obs.Counter)
+	m.lease.cFallback = make(map[class.ID]*obs.Counter)
 	nodeOpts := vsync.NodeOptions{Obs: o, Audit: cfg.Audit}
-	if pol := cfg.placementPolicy(); pol != nil {
-		nodeOpts.Coord = pol.CoordFn()
+	if m.pol != nil {
+		nodeOpts.Coord = m.pol.CoordFn()
 	}
 	m.node = vsync.NewNodeOpts(ep, machineHandler{m: m}, nodeOpts)
 	// Namespaced per machine so in-process clusters sharing one Obs keep
 	// every machine's collector registered (names replace on collision).
 	o.AddCollector(fmt.Sprintf("core.audit.m%d", id), m.collectAudit)
+	o.AddCollector(fmt.Sprintf("core.lease.m%d", id), m.collectLease)
 	m.wg.Add(1)
 	go m.actionWorker()
 	return m
@@ -376,6 +398,19 @@ func (m *Machine) Read(tp tuple.Template) (tuple.Tuple, bool, error) {
 			target = rgName(cls)
 		}
 		payload := encodeCommand(&command{kind: cmdRead, class: cls, tpl: tp})
+		if m.cfg.LeasedReads {
+			// Sequencer-free fast path: one direct request to a wg member
+			// under the current view epoch. Any fence, timeout, or missing
+			// target falls through to the ordered gcast below — the lease
+			// is an optimization, never a correctness dependency.
+			if obj, ok, served := m.leasedRead(cls, payload, legStart, trace); served {
+				if ok {
+					m.traceRoot(trace, "op.read", cls, opStart, false, "")
+					return obj, true, nil
+				}
+				continue
+			}
+		}
 		res, err := m.gcastT(target, payload, trace)
 		if err != nil {
 			m.traceRoot(trace, "op.read", cls, opStart, true, "error")

@@ -25,8 +25,11 @@ import (
 //	takewait <dur> <name> <matcher>...  → OK <tuple> | FAIL | ERR <msg>
 //	stat                                → OK <op counts and costs>
 //	stats                               → OK, then the Figure-1-style
-//	                                      per-op table, one row per line,
-//	                                      terminated by a lone "." line
+//	                                      per-op table (plus the per-class
+//	                                      leased-read table when the fast
+//	                                      path is enabled), one row per
+//	                                      line, terminated by a lone "."
+//	                                      line
 //	stats -stages                       → OK, then the per-stage latency
 //	                                      table (pipeline order), same
 //	                                      "." termination
@@ -243,6 +246,9 @@ func ExecuteCommand(m *Machine, line string) string {
 			sb.WriteString(RenderStages(obs.StageSnapshots(m.Obs().Reg())))
 		} else {
 			sb.WriteString(RenderReport(m.Report()))
+			if leased, fallback, _ := m.LeaseStats(); m.cfg.LeasedReads || leased+fallback > 0 {
+				sb.WriteString(m.RenderLeaseReport())
+			}
 		}
 		sb.WriteString(".")
 		return sb.String()

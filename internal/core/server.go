@@ -190,6 +190,25 @@ func (s *server) applyRemove(cls class.ID, tp tuple.Template) *response {
 	return &response{ok: ok, obj: t, probes: uint32(probes)}
 }
 
+// leaseRead serves one epoch-fenced leased read from the local replica
+// (vsync.LeaseReader; the epoch check already happened in the group
+// layer). Only write groups are served: rg groups carry no state and a
+// wg member's store reflects every completed write, which is what makes
+// the lease answer safe under a stable view. Called from the vsync event
+// loop; applyRead only takes the short store mutex.
+func (s *server) leaseRead(group string, payload []byte) ([]byte, bool) {
+	kind, cls, ok := parseGroup(group)
+	if !ok || kind != "wg" {
+		return nil, true
+	}
+	var cmd command
+	if err := cmd.decode(payload, true); err != nil || cmd.kind != cmdRead {
+		return nil, true
+	}
+	r := s.applyRead(cls, cmd.tpl)
+	return encodeResponse(r), !r.ok
+}
+
 // localRead serves a compute process on this machine directly from the
 // local replica (the zero-message path of §4.3).
 func (s *server) localRead(cls class.ID, tp tuple.Template) (tuple.Tuple, bool, int) {

@@ -21,6 +21,9 @@ const (
 	OpReadLocal
 	// OpReadRemote is a read(sc) served by gcast (M ∉ wg(C)).
 	OpReadRemote
+	// OpReadLeased is a read(sc) served by the epoch-fenced leased fast
+	// path (M ∉ wg(C), no sequencer involved; PROTOCOL.md "Leased reads").
+	OpReadLeased
 	// OpReadDel is read&del(sc).
 	OpReadDel
 	// OpJoin is a g-join triggered by the adaptive policy or recovery.
@@ -32,7 +35,7 @@ const (
 )
 
 // allOpKinds lists every operation kind in Figure 1 row order.
-var allOpKinds = []OpKind{OpInsert, OpReadLocal, OpReadRemote, OpReadDel, OpJoin, OpLeave, OpSwap}
+var allOpKinds = []OpKind{OpInsert, OpReadLocal, OpReadRemote, OpReadLeased, OpReadDel, OpJoin, OpLeave, OpSwap}
 
 // String names the kind.
 func (k OpKind) String() string {
@@ -43,6 +46,8 @@ func (k OpKind) String() string {
 		return "read-local"
 	case OpReadRemote:
 		return "read-remote"
+	case OpReadLeased:
+		return "read-leased"
 	case OpReadDel:
 		return "read&del"
 	case OpJoin:

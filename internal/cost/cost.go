@@ -72,6 +72,26 @@ func (m Model) RemoteRead(groupSize, scSize, respSize int) float64 {
 	return float64(groupSize)*(2*m.Alpha+m.Beta*float64(scSize+respSize)) + m.Alpha
 }
 
+// LeasedRead returns the msg-cost of a read served by the epoch-fenced
+// leased fast path: one direct request plus one direct response,
+// 2α + β(|sc|+|r|) — the g-independent cost the lease buys by skipping
+// the ordering round entirely (PROTOCOL.md, "Leased reads").
+func (m Model) LeasedRead(scSize, respSize int) float64 {
+	return m.Msg(scSize) + m.Msg(respSize)
+}
+
+// LeasedReadSaving returns how much §3.3 msg-cost one leased read saved
+// over the ordered-gcast read it replaced: RemoteRead − LeasedRead,
+// clamped at zero (with g=1 and a large response the difference can go
+// marginally negative; the lease never actually costs more messages).
+func (m Model) LeasedReadSaving(groupSize, scSize, respSize int) float64 {
+	s := m.RemoteRead(groupSize, scSize, respSize) - m.LeasedRead(scSize, respSize)
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
 // Counter accumulates the three cost measures for a component. It is safe
 // for concurrent use.
 type Counter struct {

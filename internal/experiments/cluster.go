@@ -30,8 +30,10 @@ type benchCluster struct {
 // store. classes ≤ 1 keeps the historical single "job" class, so older
 // trajectory points stay comparable; classes > 1 switches to an exact
 // N-class universe with sharded coordinator placement — the multi-class
-// scaling mode (EXPERIMENTS.md, E19).
-func benchConfig(machines, classes int) core.Config {
+// scaling mode (EXPERIMENTS.md, E19). leases turns on the leased-read fast
+// path (E21); it needs a non-member membership source, so leased runs imply
+// placement even for one class.
+func benchConfig(machines, classes int, leases bool) core.Config {
 	cfg := core.Config{
 		Classifier: class.NewNameArity([]string{"job"}, 3),
 		Lambda:     1,
@@ -40,6 +42,18 @@ func benchConfig(machines, classes int) core.Config {
 	if classes > 1 {
 		cfg.Classifier = newBenchClassifier(classes)
 		cfg.Placement = true
+	}
+	if leases {
+		cfg.LeasedReads = true
+		if classes <= 1 {
+			// Lease targets come from the placement assignment; without it
+			// (and with no pinned Support) every read would silently fall
+			// back and the leases=on run would measure nothing. The
+			// workload's plain "job" tuples still run: unknown names land in
+			// benchClassifier's class 0 and searches cover every class.
+			cfg.Classifier = newBenchClassifier(1)
+			cfg.Placement = true
+		}
 	}
 	if machines < 2 {
 		cfg.Lambda = 0
@@ -104,13 +118,13 @@ func (bc *benchClassifier) Classes() []class.ID {
 // traceOps set, each machine records spans into its own sink (capacity
 // spanCap), matching the per-process shape of a real deployment. classes
 // > 1 runs the sharded multi-class config with placement-derived supports.
-func startTCPCluster(n, classes int, o *obs.Obs, traceOps bool, spanCap int) (*benchCluster, error) {
+func startTCPCluster(n, classes int, o *obs.Obs, traceOps bool, spanCap int, leases bool) (*benchCluster, error) {
 	topts := tcp.Options{
 		HeartbeatInterval: 10 * time.Millisecond,
 		FailTimeout:       500 * time.Millisecond,
 		Obs:               o,
 	}
-	mcfg := benchConfig(n, classes)
+	mcfg := benchConfig(n, classes, leases)
 	mcfg.Obs = o
 	basics := mcfg.Classifier.Classes()
 

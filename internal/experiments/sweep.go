@@ -32,6 +32,12 @@ type SweepConfig struct {
 	// per-class coordinators and a Zipf-skewed class mix. 0 or 1 keeps the
 	// historical single-class, single-sequencer workload.
 	Classes int
+	// Leases enables the leased-read fast path (EXPERIMENTS.md, E21): reads
+	// from non-members go point-to-point to one wg member under the view
+	// epoch instead of through the ordered gcast. Implies placement. The
+	// result carries the leased/fallback/remote read tallies so the >90%
+	// steady-view leased-service criterion is checkable from the trajectory.
+	Leases bool
 	// InsertFrac and ReadFrac set the op mix; the remainder is read&del.
 	// Defaults 0.4/0.4.
 	InsertFrac, ReadFrac float64
@@ -93,6 +99,16 @@ type SweepResult struct {
 	Workers   int    `json:"workers"`
 	Classes   int    `json:"classes,omitempty"`
 	Transport string `json:"transport"`
+	// Leases records whether the leased-read fast path was on, and the
+	// lease accounting aggregated over every machine after the sweep:
+	// reads served leased, reads that fell back to the ordered path, reads
+	// that went ordered directly (OpReadRemote), and the summed §3.3
+	// msg-cost the leased ones saved (cost.Model.LeasedReadSaving).
+	Leases         bool    `json:"leases,omitempty"`
+	LeasedReads    int64   `json:"leased_reads,omitempty"`
+	LeaseFallbacks int64   `json:"lease_fallbacks,omitempty"`
+	RemoteReads    int64   `json:"remote_reads,omitempty"`
+	LeaseSavedCost float64 `json:"lease_saved_cost,omitempty"`
 	load.SweepResult
 }
 
@@ -107,14 +123,14 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	var machines []*core.Machine
 	switch cfg.Transport {
 	case "tcp":
-		bc, err := startTCPCluster(cfg.Machines, cfg.Classes, o, false, 0)
+		bc, err := startTCPCluster(cfg.Machines, cfg.Classes, o, false, 0, cfg.Leases)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 		defer bc.Close()
 		machines = bc.machines
 	case "simnet":
-		mcfg := benchConfig(cfg.Machines, cfg.Classes)
+		mcfg := benchConfig(cfg.Machines, cfg.Classes, cfg.Leases)
 		mcfg.Obs = o
 		cl, err := core.NewCluster(mcfg, cfg.Machines)
 		if err != nil {
@@ -141,13 +157,24 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
-	return &SweepResult{
+	out := &SweepResult{
 		Machines:    cfg.Machines,
 		Workers:     cfg.Workers,
 		Classes:     cfg.Classes,
 		Transport:   cfg.Transport,
+		Leases:      cfg.Leases,
 		SweepResult: res,
-	}, nil
+	}
+	for _, m := range machines {
+		leased, fallback, saved := m.LeaseStats()
+		out.LeasedReads += leased
+		out.LeaseFallbacks += fallback
+		out.LeaseSavedCost += saved
+		if s, ok := m.Stats()[core.OpReadRemote]; ok {
+			out.RemoteReads += int64(s.Count)
+		}
+	}
+	return out, nil
 }
 
 // Table renders the curve in the experiment-table idiom: one row per
@@ -166,6 +193,15 @@ func (r *SweepResult) Table() *stats.Table {
 	}
 	tb.AddNote("machines=%d workers=%d classes=%d transport=%s rungs=%d",
 		r.Machines, r.Workers, classes, r.Transport, len(r.Rungs))
+	if r.Leases {
+		attempted := r.LeasedReads + r.LeaseFallbacks
+		pct := 0.0
+		if attempted > 0 {
+			pct = 100 * float64(r.LeasedReads) / float64(attempted)
+		}
+		tb.AddNote("leases: served=%d fallback=%d (%.1f%% leased) remote=%d saved-cost=%.0f",
+			r.LeasedReads, r.LeaseFallbacks, pct, r.RemoteReads, r.LeaseSavedCost)
+	}
 	if r.KneeRate > 0 {
 		tb.AddNote("knee: highest sustained rate %.0f/s", r.KneeRate)
 	} else {

@@ -31,6 +31,10 @@ type ThroughputConfig struct {
 	// per-class coordinators and a Zipf-skewed class mix. 0 or 1 keeps the
 	// historical single-class, single-sequencer workload.
 	Classes int
+	// Leases enables the leased-read fast path (E21): reads from
+	// non-members go point-to-point under the view epoch instead of
+	// through the ordered gcast. Implies placement.
+	Leases bool
 	// InsertFrac and ReadFrac set the op mix; the remainder is read&del.
 	// Defaults 0.4/0.4 (so 0.2 read&del).
 	InsertFrac, ReadFrac float64
@@ -140,7 +144,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	cfg = cfg.withDefaults()
 	o := cfg.Obs
 
-	bc, err := startTCPCluster(cfg.Machines, cfg.Classes, o, cfg.TraceOps, cfg.SpanCap)
+	bc, err := startTCPCluster(cfg.Machines, cfg.Classes, o, cfg.TraceOps, cfg.SpanCap, cfg.Leases)
 	if err != nil {
 		return nil, fmt.Errorf("throughput: %w", err)
 	}

@@ -52,6 +52,13 @@ type RunOptions struct {
 	FlightDir string
 	// FlightInterval overrides the flight sampler interval (default 50ms).
 	FlightInterval time.Duration
+	// Leases enables the leased-read fast path for the scenario's cluster
+	// (core.Config.LeasedReads): probe reads from machines outside the
+	// probe class's support go point-to-point to one member under the view
+	// epoch, falling back to the ordered gcast on any fence or timeout.
+	// Every semantics and invariant check runs unchanged — the lease must
+	// be invisible to them.
+	Leases bool
 }
 
 // ProbeTrace is one probe leg's assembled cross-machine trace.
@@ -153,6 +160,7 @@ func Run(sc *Scenario, opt RunOptions) (*Result, error) {
 		Lambda:        sc.Lambda,
 		Support:       sc.Support,
 		UseReadGroups: true,
+		LeasedReads:   opt.Leases,
 		OnViewChange:  ck.OnViewChange,
 	}
 	if opt.Trace {
@@ -207,6 +215,9 @@ func Run(sc *Scenario, opt RunOptions) (*Result, error) {
 	fmt.Fprintf(r.out, "scenario %s seed=%d n=%d lambda=%d rounds=%d\n",
 		sc.Name, sc.Seed, sc.N, sc.Lambda, sc.Rounds)
 	fmt.Fprintf(r.out, "support %s: %v\n", ProbeClass, sc.Support[ProbeClass])
+	if opt.Leases {
+		fmt.Fprintf(r.out, "leases: on\n")
+	}
 	if err := cluster.CheckInvariants(); err != nil {
 		r.violate(fmt.Sprintf("baseline: %v", err))
 	}

@@ -24,7 +24,11 @@ import (
 // pooling relies on, simnet and faults define the fault plane (FAULTS.md),
 // and class + placement define the sharding contract (PROTOCOL.md
 // "Sharded groups"): which class a tuple falls in and which machine
-// sequences it must be readable from the doc comments alone.
+// sequences it must be readable from the doc comments alone. core and
+// semantics joined with the leased-read fast path (PROTOCOL.md "Leased
+// reads"): the engine's op surface — including the lease fallback
+// contract and its §3.3 accounting — and the A1–A3 rules the lease must
+// stay invisible to are spec surface too.
 var documented = []string{
 	"../vsync",
 	"../transport",
@@ -36,6 +40,8 @@ var documented = []string{
 	"../load",
 	"../class",
 	"../placement",
+	"../core",
+	"../semantics",
 }
 
 func TestExportedDocs(t *testing.T) {

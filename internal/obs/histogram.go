@@ -28,13 +28,66 @@ func bucketUpper(i int) float64 {
 	return histMinBound * math.Pow(2, float64(i)/histBucketsPerOctave)
 }
 
-// bucketIndex maps an observation to its bucket.
+// pow2Of16th[k] = 2^(k/16): the within-octave bucket thresholds bucketIndex
+// compares the mantissa against instead of evaluating a logarithm.
+var pow2Of16th = func() [histBucketsPerOctave + 1]float64 {
+	var t [histBucketsPerOctave + 1]float64
+	for k := range t {
+		t[k] = math.Pow(2, float64(k)/histBucketsPerOctave)
+	}
+	return t
+}()
+
+// octaveLUT maps the top 8 mantissa bits of a float64 to the smallest k
+// with 1+b/256 ≤ 2^(k/16). Threshold spacing (2^(1/16)−1 ≈ 0.044) exceeds
+// the table's 1/256 resolution, so the true k for any mantissa in a cell is
+// the table value or one more — a single comparison against pow2Of16th
+// resolves it exactly.
+var octaveLUT = func() [256]uint8 {
+	var t [256]uint8
+	for b := range t {
+		m0 := 1 + float64(b)/256
+		k := uint8(0)
+		for m0 > pow2Of16th[k] {
+			k++
+		}
+		t[b] = k
+	}
+	return t
+}()
+
+// IEEE-754 float64 field accessors for bucketIndex: the low 52 bits hold
+// the mantissa, and OR-ing in the biased exponent of 1.0 rescales it into
+// [1, 2) without arithmetic.
+const (
+	histMantBits = 52
+	histMantMask = 1<<histMantBits - 1
+	histOneBits  = uint64(1023) << histMantBits
+)
+
+// bucketIndex maps an observation to its bucket: idx = ceil(log2(v/min)·16).
+// The log never runs on the hot path — Observe sits inside every gcast leg
+// and store apply — so the index is read off the float's own base-2
+// representation: the exponent bits give the octave (16 buckets each), and
+// the top mantissa bits index octaveLUT for the position within it, with
+// one threshold comparison fixing the cell boundary. Equivalence with the
+// closed form is pinned by TestBucketIndexEquivalence.
 func bucketIndex(v float64) int {
 	if v <= histMinBound || math.IsNaN(v) {
 		return 0
 	}
-	// With r = 2^(1/16): idx = ceil(log2(v/min)·16).
-	idx := int(math.Ceil(math.Log2(v/histMinBound) * histBucketsPerOctave))
+	u := v / histMinBound // > 1: exponent ≥ bias, mantissa normal
+	if math.IsInf(u, 1) {
+		return histBuckets - 1
+	}
+	bits := math.Float64bits(u)
+	e := int(bits>>histMantBits) - 1023
+	m := math.Float64frombits(bits&histMantMask | histOneBits)
+	k := int(octaveLUT[(bits>>(histMantBits-8))&0xff])
+	if m > pow2Of16th[k] {
+		k++
+	}
+	idx := e*histBucketsPerOctave + k
 	if idx < 1 {
 		idx = 1
 	}

@@ -267,3 +267,104 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Errorf("mean = %v, want ≈1.0", mean)
 	}
 }
+
+// bucketIndexRef is the closed-form bucketing the lookup-table fast path
+// replaced: idx = ceil(log2(v/min)·16) evaluated with math.Log2 per sample.
+// It stays here as the equivalence oracle.
+func bucketIndexRef(v float64) int {
+	if v <= histMinBound || math.IsNaN(v) {
+		return 0
+	}
+	u := v / histMinBound
+	if math.IsInf(u, 1) {
+		// The original int(Ceil(Log2(+Inf))) conversion was
+		// implementation-defined; the intended semantic is the top bucket.
+		return histBuckets - 1
+	}
+	idx := int(math.Ceil(math.Log2(u) * histBucketsPerOctave))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// TestBucketIndexEquivalence pins the log-free bucketIndex to the original
+// math.Log2 formula across bucket boundaries, powers of two, denormal-ish
+// extremes, and a seeded random sweep of the full dynamic range.
+func TestBucketIndexEquivalence(t *testing.T) {
+	check := func(v float64) {
+		t.Helper()
+		if got, want := bucketIndex(v), bucketIndexRef(v); got != want {
+			t.Errorf("bucketIndex(%g) = %d, ref = %d", v, got, want)
+		}
+	}
+	// Edge values and special cases.
+	for _, v := range []float64{
+		0, -1, math.NaN(), math.Inf(-1), math.Inf(1),
+		histMinBound, histMinBound * 1.0000001, math.MaxFloat64, 1e300,
+	} {
+		check(v)
+	}
+	// Every power of two across the histogram's span: exact boundaries.
+	for e := -30; e <= 35; e++ {
+		check(histMinBound * math.Ldexp(1, e))
+	}
+	// Bucket upper bounds and their neighborhoods for the first octaves.
+	for i := 1; i < 64; i++ {
+		u := bucketUpper(i)
+		check(u * 0.999)
+		check(u * 1.001)
+	}
+	// Seeded sweep over the full dynamic range (1e-10 .. 1e10 seconds).
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200000; i++ {
+		v := math.Pow(10, rng.Float64()*20-10)
+		check(v)
+	}
+}
+
+// BenchmarkBucketIndex measures the lookup-table fast path against the
+// math.Log2 closed form it replaced; Observe runs inside every gcast leg
+// and store apply, so this is the metrics plane's hottest instruction path.
+func BenchmarkBucketIndex(b *testing.B) {
+	vals := benchObservations()
+	b.Run("table", func(b *testing.B) {
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += bucketIndex(vals[i&1023])
+		}
+		benchSink = sink
+	})
+	b.Run("log2", func(b *testing.B) {
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += bucketIndexRef(vals[i&1023])
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	vals := benchObservations()
+	h := newHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(vals[i&1023])
+	}
+}
+
+// benchObservations builds a latency-shaped sample set (microseconds to
+// hundreds of milliseconds) so the benchmarks walk realistic buckets.
+func benchObservations() []float64 {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = math.Pow(10, rng.Float64()*5-6) // 1e-6 .. 1e-1 s
+	}
+	return vals
+}
+
+var benchSink int

@@ -30,6 +30,8 @@ type OpTrace struct {
 	Measured float64 `json:"measured"`
 	// Predicted sums the per-hop Figure-1 approximations.
 	Predicted float64 `json:"predicted"`
+	// Saved sums the per-hop ordering cost avoided by leased reads.
+	Saved float64 `json:"saved,omitempty"`
 }
 
 // Gap marks a span (or set of spans) the causal tree expected but the
@@ -65,8 +67,13 @@ type HopCost struct {
 	RespBytes int `json:"resp_bytes"`
 	// Measured is Σ msg-cost over the collected constituent spans.
 	Measured float64 `json:"measured"`
-	// Predicted is the Figure-1 approximation |g|(2α + β(|msg|+|resp|)).
+	// Predicted is the Figure-1 approximation |g|(2α + β(|msg|+|resp|));
+	// for a lease-read hop it is the 2α + β(|sc|+|r|) direct-exchange cost.
 	Predicted float64 `json:"predicted"`
+	// Saved, non-zero only for lease-read hops, is the §3.3 cost of the
+	// ordered gcast read this hop replaced minus the hop's own cost — the
+	// per-read saving the "Leased reads" audit reports.
+	Saved float64 `json:"saved,omitempty"`
 }
 
 // Assemble reunites the spans of one trace (collected from any number of
@@ -126,6 +133,22 @@ func Assemble(trace uint64, spans []Span, model cost.Model) OpTrace {
 			t.Hops = append(t.Hops, hop)
 			t.Measured += hop.Measured
 			t.Predicted += hop.Predicted
+		case "lease-read":
+			// A leased read is one direct request plus one direct response;
+			// there are no deliver children to sum, so Measured rebuilds the
+			// same two messages from the recorded sizes. Saved prices the
+			// ordered gcast the lease made unnecessary.
+			hop := HopCost{
+				Span: s.ID, Group: s.Group, GroupSize: s.GroupSize,
+				Bytes: s.Bytes, RespBytes: s.RespBytes,
+				Measured:  model.Msg(s.Bytes) + model.Msg(s.RespBytes),
+				Predicted: model.LeasedRead(s.Bytes, s.RespBytes),
+				Saved:     model.LeasedReadSaving(s.GroupSize, s.Bytes, s.RespBytes),
+			}
+			t.Hops = append(t.Hops, hop)
+			t.Measured += hop.Measured
+			t.Predicted += hop.Predicted
+			t.Saved += hop.Saved
 		case "order":
 			got := len(childrenNamed(children, s.ID, "deliver"))
 			if s.GroupSize > 0 && got < s.GroupSize {
@@ -183,15 +206,25 @@ func (t OpTrace) Render() string {
 		sb.WriteByte('\n')
 	}
 	for _, h := range t.Hops {
-		fmt.Fprintf(&sb, "  hop %s |g|=%d bytes=%d/%d: measured=%.0f predicted=%.0f (Fig.1 |g|(2α+β(|m|+|r|)))\n",
+		fmt.Fprintf(&sb, "  hop %s |g|=%d bytes=%d/%d: measured=%.0f predicted=%.0f",
 			h.Group, h.GroupSize, h.Bytes, h.RespBytes, h.Measured, h.Predicted)
+		if h.Saved > 0 {
+			fmt.Fprintf(&sb, " saved=%.0f (leased; vs ordered read)", h.Saved)
+		} else {
+			sb.WriteString(" (Fig.1 |g|(2α+β(|m|+|r|)))")
+		}
+		sb.WriteByte('\n')
 	}
 	for _, g := range t.Gaps {
 		fmt.Fprintf(&sb, "  GAP under %s %016x: expected %d, got %d — %s\n",
 			g.Name, g.Parent, g.Expected, g.Got, g.Note)
 	}
 	if len(t.Hops) > 0 {
-		fmt.Fprintf(&sb, "  total: measured=%.0f predicted=%.0f\n", t.Measured, t.Predicted)
+		fmt.Fprintf(&sb, "  total: measured=%.0f predicted=%.0f", t.Measured, t.Predicted)
+		if t.Saved > 0 {
+			fmt.Fprintf(&sb, " saved=%.0f", t.Saved)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

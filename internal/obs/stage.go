@@ -22,6 +22,10 @@ const (
 	StageDeliver = "stage.deliver.seconds"
 	// StageStoreApply is the storage mutation inside the delivery handler.
 	StageStoreApply = "stage.store.apply.seconds"
+	// StageLeaseServe is a member answering an epoch-fenced leased read
+	// from its local store — the sequencer-free fast path, which skips the
+	// order and deliver stages entirely (PROTOCOL.md, "Leased reads").
+	StageLeaseServe = "stage.lease.serve.seconds"
 )
 
 // StageOrderNames lists the per-stage histogram names in pipeline order,
@@ -34,6 +38,7 @@ var StageOrderNames = []string{
 	StageOrder,
 	StageDeliver,
 	StageStoreApply,
+	StageLeaseServe,
 }
 
 // StageSnapshots extracts the per-stage histogram snapshots from a

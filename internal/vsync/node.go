@@ -103,6 +103,15 @@ type Node struct {
 	liveEpoch      uint64
 	recoveredEpoch uint64
 	abdicated      map[string]uint64
+	// leases holds the pending leased reads issued by this node, keyed by
+	// request ID. Loop-owned; fenced wholesale on every membership edge
+	// (fenceLeases) because their epoch is stale the moment the live set
+	// moves.
+	leases map[uint64]*pendingLease
+	// view atomically publishes the failure detector's live set and its
+	// epoch hash (publishView), so the leased-read path can read both
+	// off-loop without a command round-trip.
+	view atomic.Pointer[liveView]
 	// preCoord stashes client requests that arrived while this node was
 	// not (yet) coordinator. A client whose failure detector runs ahead of
 	// ours sends here before we have processed the old coordinator's death;
@@ -164,6 +173,14 @@ type Node struct {
 	// hFrame records encoded frame bytes per message type (indexed by
 	// msgType), the measured |m| of the §3.3 cost model.
 	hFrame [tMaxType + 1]*obs.Histogram
+	// Leased-read accounting: requests this node served, requests it
+	// refused as server (fence flag sent), and client-side fences
+	// (epoch moved or the server refused); plus the serve-side stage
+	// histogram.
+	cLeaseServed  *obs.Counter
+	cLeaseRefused *obs.Counter
+	cLeaseFenced  *obs.Counter
+	hStageLease   *obs.Histogram
 	// Placement churn accounting: claims gathered during recovery, claim
 	// conflicts resolved by epoch, and classes whose owner moved across a
 	// live-set change (placed mode).
@@ -301,6 +318,7 @@ func NewNodeOpts(ep transport.Endpoint, h Handler, opts NodeOptions) *Node {
 		done:    make(chan struct{}),
 		live:      make(map[transport.NodeID]bool),
 		pending:   make(map[uint64]*pendingReq),
+		leases:    make(map[uint64]*pendingLease),
 		groups:    make(map[string]*memberState),
 		coordFn:   opts.Coord,
 		abdicated: make(map[string]uint64),
@@ -336,6 +354,11 @@ func NewNodeOpts(ep transport.Endpoint, h Handler, opts NodeOptions) *Node {
 		cClaimConflict: o.Counter("vsync.claims.conflict"),
 		cMovedClasses:  o.Counter("placement.moved.classes"),
 		audit:          opts.Audit,
+
+		cLeaseServed:  o.Counter("vsync.lease.served"),
+		cLeaseRefused: o.Counter("vsync.lease.refused"),
+		cLeaseFenced:  o.Counter("vsync.lease.fenced"),
+		hStageLease:   o.Histogram(obs.StageLeaseServe),
 	}
 	n.owned, _ = ep.(transport.OwnedSender)
 	n.fanout = fanoutEnabled()
@@ -822,6 +845,10 @@ func (n *Node) dispatch(from transport.NodeID, w *wire) {
 		n.memberRestate(from, w)
 	case tClaim:
 		n.coordClaim(from, w)
+	case tLeaseRead:
+		n.serveLeaseRead(from, w)
+	case tLeaseReply:
+		n.leaseReply(w)
 	case tApp:
 		n.h.AppMessage(from, w.Payload)
 	case tBatch:
@@ -898,6 +925,10 @@ func (n *Node) xmitBatch(to transport.NodeID, ws []*wire) {
 // placed mode the per-group coordinator cache is rebuilt for the new epoch
 // and placement moves are carried out (refreshPlacement, placed.go).
 func (n *Node) liveChanged() {
+	// Publish the new view and fence pending leased reads first, in both
+	// modes: the epoch must be current before any lease traffic staged by
+	// this edge's processing can observe it.
+	n.publishView()
 	if n.coordFn == nil {
 		n.recomputeCoord()
 		return

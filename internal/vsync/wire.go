@@ -60,11 +60,13 @@ const (
 	tBatch                       // container: several messages coalesced into one frame
 	tOrderedRun                  // coordinator → members: contiguous run of sequenced data events
 	tClaim                       // node → group owner: unsolicited placement claim (member nudge or abdication handoff)
+	tLeaseRead                   // client → group member: epoch-fenced direct read (bypasses the sequencer)
+	tLeaseReply                  // group member → client: leased-read answer or fence
 )
 
 // tMaxType is the highest assigned message type; per-type tables (frame
 // histograms, validity checks) are sized by it. Keep it on the last constant.
-const tMaxType = tClaim
+const tMaxType = tLeaseReply
 
 // String names the message type, for metric names and diagnostics.
 func (t msgType) String() string {
@@ -99,6 +101,10 @@ func (t msgType) String() string {
 		return "orderedrun"
 	case tClaim:
 		return "claim"
+	case tLeaseRead:
+		return "leaseread"
+	case tLeaseReply:
+		return "leasereply"
 	default:
 		return "invalid"
 	}
@@ -129,7 +135,11 @@ type wire struct {
 	Payload []byte
 	Fail    bool
 	Size    int // |group| at ordering time, piggybacked on replies
-	UpTo    uint64
+	// UpTo is a sequence floor on state transfers and resyncs; the lease
+	// messages (tLeaseRead/tLeaseReply) reuse it to carry the sender's view
+	// epoch instead (lease.go), so the fence travels in the existing
+	// envelope with zero codec changes.
+	UpTo uint64
 	// Trace and Span are the tracing header (PROTOCOL.md "Trace header"):
 	// Trace is the operation's trace ID, Span the sender-side span the
 	// receiver should parent its own span on (the client's gcast span in
